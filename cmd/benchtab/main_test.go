@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table2", "fig7", "ablations"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+}
+
+func TestRunOneExperimentTiny(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exp", "table3", "-scale", "0.02", "-ranks", "4"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Table III") {
+		t.Fatalf("output: %q", stdout.String())
+	}
+}
+
+func TestBenchtabErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"-exp", "bogus"}, {"-nope"}} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command mudbscan clusters a dataset file with μDBSCAN and writes one
+// cluster label per input point.
+//
+// Usage:
+//
+//	mudbscan -eps 0.5 -minpts 5 [-mode seq|parallel|dist] [-ranks 8]
+//	         [-workers 4] [-in points.csv] [-out labels.txt] [-stats]
+//
+// The input is CSV (one point per line; comma, space, tab or semicolon
+// separated) or the compact binary format produced by datagen -format bin
+// (detected by extension .bin). "-" reads stdin. Labels are written one per
+// line: a cluster id in [0, #clusters) or -1 for noise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mudbscan"
+	"mudbscan/internal/data"
+	"mudbscan/internal/geom"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mudbscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mudbscan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		eps     = fs.Float64("eps", 0, "DBSCAN ε radius (required, > 0)")
+		minPts  = fs.Int("minpts", 5, "DBSCAN MinPts density threshold")
+		mode    = fs.String("mode", "seq", "execution mode: seq, parallel or dist")
+		ranks   = fs.Int("ranks", 8, "simulated ranks for -mode dist (power of two)")
+		workers = fs.Int("workers", 0, "goroutines for -mode parallel (0 = GOMAXPROCS)")
+		inPath  = fs.String("in", "-", "input dataset (CSV, or .bin binary; - = stdin)")
+		outPath = fs.String("out", "-", "output labels file (- = stdout)")
+		stats   = fs.Bool("stats", false, "print run statistics to stderr")
+		suggest = fs.Bool("suggest-eps", false, "print a suggested eps from the k-distance elbow and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *eps <= 0 && !*suggest {
+		return fmt.Errorf("-eps is required and must be positive")
+	}
+
+	pts, err := readPoints(*inPath, stdin)
+	if err != nil {
+		return err
+	}
+	if *suggest {
+		rows := make([][]float64, len(pts))
+		for i, p := range pts {
+			rows[i] = p
+		}
+		e, err := mudbscan.SuggestEps(rows, *minPts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%g\n", e)
+		return nil
+	}
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = p
+	}
+
+	start := time.Now()
+	var result *mudbscan.Result
+	switch *mode {
+	case "seq":
+		var st *mudbscan.SeqStats
+		result, st, err = mudbscan.ClusterWithStats(rows, *eps, *minPts)
+		if err == nil && *stats {
+			fmt.Fprintf(stderr, "n=%d m=%d queries=%d saved=%d (%.2f%%) time=%v\n",
+				len(pts), st.NumMCs, st.Queries, st.QueriesSaved, st.QuerySavedPct(), time.Since(start))
+		}
+	case "parallel":
+		var st *mudbscan.ParStats
+		result, st, err = mudbscan.ClusterParallel(rows, *eps, *minPts, mudbscan.WithWorkers(*workers))
+		if err == nil && *stats {
+			fmt.Fprintf(stderr, "n=%d m=%d workers=%d queries=%d saved=%d time=%v\n",
+				len(pts), st.NumMCs, st.Workers, st.Queries, st.QueriesSaved, time.Since(start))
+		}
+	case "dist":
+		var st *mudbscan.DistStats
+		result, st, err = mudbscan.ClusterDistributed(rows, *eps, *minPts, *ranks)
+		if err == nil && *stats {
+			fmt.Fprintf(stderr, "n=%d ranks=%d m=%d halo=%d commBytes=%d time=%v\n",
+				len(pts), st.Ranks, st.NumMCs, st.HaloPoints, st.Comm.TotalBytes(), time.Since(start))
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want seq, parallel or dist)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "clusters=%d cores=%d noise=%d\n",
+			result.NumClusters, result.NumCorePoints(), result.NumNoise())
+	}
+	return writeLabels(*outPath, stdout, result.Labels)
+}
+
+func readPoints(path string, stdin io.Reader) ([]geom.Point, error) {
+	var r io.Reader
+	if path == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if strings.HasSuffix(path, ".bin") {
+		return data.ReadBinary(r)
+	}
+	return data.ReadCSV(r)
+}
+
+func writeLabels(path string, stdout io.Writer, labels []int) error {
+	var w io.Writer
+	if path == "-" {
+		w = stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for _, l := range labels {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const squareCSV = `1,1
+1.1,1
+1,1.1
+1.1,1.1
+9,9
+9.1,9
+9,9.1
+9.1,9.1
+5,5
+`
+
+func TestClusterFromCSVFile(t *testing.T) {
+	in := writeTemp(t, "pts.csv", squareCSV)
+	out := filepath.Join(t.TempDir(), "labels.txt")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-eps", "0.5", "-minpts", "3", "-in", in, "-out", out, "-stats"},
+		nil, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := strings.Fields(string(b))
+	if len(labels) != 9 {
+		t.Fatalf("labels=%v", labels)
+	}
+	if labels[8] != "-1" {
+		t.Fatalf("point 8 should be noise, got %s", labels[8])
+	}
+	if labels[0] == labels[4] {
+		t.Fatal("separated squares should differ")
+	}
+	if !strings.Contains(stderr.String(), "clusters=2") {
+		t.Fatalf("stats output: %q", stderr.String())
+	}
+}
+
+func TestClusterFromStdinToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-eps", "0.5", "-minpts", "3"},
+		strings.NewReader(squareCSV), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Fields(stdout.String())) != 9 {
+		t.Fatalf("stdout: %q", stdout.String())
+	}
+}
+
+func TestModes(t *testing.T) {
+	for _, mode := range []string{"parallel", "dist"} {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", mode, "-ranks", "2", "-stats"},
+			strings.NewReader(squareCSV), &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if len(strings.Fields(stdout.String())) != 9 {
+			t.Fatalf("mode %s stdout: %q", mode, stdout.String())
+		}
+	}
+}
+
+func TestSuggestEpsFlag(t *testing.T) {
+	var csv strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&csv, "%g,%g\n", float64(i%20)*0.05, float64(i/20)*0.05)
+	}
+	csv.WriteString("500,500\n")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-suggest-eps", "-minpts", "5"},
+		strings.NewReader(csv.String()), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := strconv.ParseFloat(strings.TrimSpace(stdout.String()), 64)
+	if err != nil || eps <= 0 {
+		t.Fatalf("suggested eps %q: %v", stdout.String(), err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                // missing eps
+		{"-eps", "-1"},                    // bad eps
+		{"-eps", "1", "-mode", "bogus"},   // bad mode
+		{"-eps", "1", "-in", "/no/file"},  // missing input
+		{"-eps", "1", "-badflag", "true"}, // bad flag
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, strings.NewReader(""), &stdout, &stderr); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: cluster a small 2-D point set with μDBSCAN and print the
+// labels. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mudbscan"
+)
+
+func main() {
+	points := [][]float64{
+		// A tight square near the origin...
+		{1.0, 1.0}, {1.1, 1.0}, {1.0, 1.1}, {1.1, 1.1}, {1.05, 1.05},
+		// ...a second tight square far away...
+		{9.0, 9.0}, {9.1, 9.0}, {9.0, 9.1}, {9.1, 9.1}, {9.05, 9.05},
+		// ...and a lonely outlier in between.
+		{5.0, 5.0},
+	}
+
+	result, stats, err := mudbscan.ClusterWithStats(points, 0.5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clusters: %d, core points: %d, noise points: %d\n",
+		result.NumClusters, result.NumCorePoints(), result.NumNoise())
+	fmt.Printf("micro-clusters: %d, queries run: %d, queries saved: %d (%.1f%%)\n",
+		stats.NumMCs, stats.Queries, stats.QueriesSaved, stats.QuerySavedPct())
+	for i, label := range result.Labels {
+		tag := fmt.Sprintf("cluster %d", label)
+		if label == mudbscan.Noise {
+			tag = "noise"
+		}
+		kind := "border"
+		if result.Core[i] {
+			kind = "core"
+		} else if label == mudbscan.Noise {
+			kind = "noise"
+		}
+		fmt.Printf("  point %2d %v -> %s (%s)\n", i, points[i], tag, kind)
+	}
+}

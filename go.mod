@@ -1,0 +1,3 @@
+module mudbscan
+
+go 1.22

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyCfg makes every experiment run in seconds for CI.
+func tinyCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Scale: 0.02, Ranks: 4}
+}
+
+func TestSpecLookup(t *testing.T) {
+	if _, ok := SpecByName("3DSRN-A"); !ok {
+		t.Fatal("analogue name lookup failed")
+	}
+	if _, ok := SpecByName("MPAGD100M3D"); !ok {
+		t.Fatal("paper name lookup failed")
+	}
+	if _, ok := SpecByName("MPAGD800M3D-A"); !ok {
+		t.Fatal("table-6 spec lookup failed")
+	}
+	if _, ok := SpecByName("nope"); ok {
+		t.Fatal("bogus name should fail")
+	}
+}
+
+func TestSpecPointsScale(t *testing.T) {
+	s, _ := SpecByName("DGB0.5M3D-A")
+	if n := len(s.Points(0.1)); n != 5000 {
+		t.Fatalf("scale 0.1: n=%d want 5000", n)
+	}
+	if n := len(s.Points(0.000001)); n != 100 {
+		t.Fatalf("minimum size clamp: n=%d want 100", n)
+	}
+	if got := s.ScaledName(1.0); got != "DGB0.5M3D-A" {
+		t.Fatalf("ScaledName(1)=%q", got)
+	}
+	if got := s.ScaledName(0.5); got != "DGB0.5M3D-A(x0.5)" {
+		t.Fatalf("ScaledName(0.5)=%q", got)
+	}
+}
+
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(tinyCfg(&buf)); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+		})
+	}
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table3", tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatalf("unexpected output: %q", buf.String())
+	}
+	if err := RunExperiment("bogus", tinyCfg(&buf)); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestTable2OutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"R-DBSCAN", "GridDBSCAN", "μDBSCAN", "%query saves", "3DSRN-A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+len(Table2Specs()) {
+		t.Errorf("Table2 has %d lines, want %d", len(lines), 2+len(Table2Specs()))
+	}
+}
+
+func TestTable8HasSpeedups(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table8(tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Total Time") {
+		t.Fatalf("Table8 output: %q", buf.String())
+	}
+}
+
+func TestMeasurePeakHeap(t *testing.T) {
+	var sink [][]byte
+	peak := measurePeakHeap(func() {
+		for i := 0; i < 50; i++ {
+			sink = append(sink, make([]byte, 1<<20))
+			time.Sleep(time.Millisecond)
+		}
+	})
+	_ = sink
+	if peak < 20<<20 {
+		t.Fatalf("peak %d should see most of the 50MB allocation", peak)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := seconds(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("seconds=%q", got)
+	}
+	if got := pct(12.345); got != "12.35%" {
+		t.Errorf("pct=%q", got)
+	}
+	if got := mb(10 << 20); got != "10.0 MB" {
+		t.Errorf("mb=%q", got)
+	}
+}

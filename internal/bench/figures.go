@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"mudbscan/internal/core"
+	"mudbscan/internal/data"
+	"mudbscan/internal/dist"
+)
+
+// Fig5 regenerates Figure 5: run time vs ε for PDSDBSCAN-D, GridDBSCAN-D
+// and μDBSCAN-D on the MPAGD100M and FOF56M analogues. The paper's claim:
+// μDBSCAN-D stays lowest at every ε and degrades more slowly than
+// PDSDBSCAN-D as ε grows.
+func Fig5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	for _, s := range []Spec{specMPAGD, specFOF} {
+		pts := s.Points(cfg.Scale)
+		fmt.Fprintf(cfg.Out, "Fig 5 analogue (%s): run time (s) vs eps on %d ranks\n",
+			s.ScaledName(cfg.Scale), cfg.Ranks)
+		t := newTable(cfg.Out)
+		t.row("eps", "PDSDBSCAN-D", "GridDBSCAN-D", "μDBSCAN-D")
+		for _, f := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+			eps := s.Eps * f
+			t.row(fmt.Sprintf("%.3g", eps),
+				runDist(dist.PDSDBSCAND, pts, eps, s.MinPts, cfg.Ranks),
+				runDist(dist.GridDBSCAND, pts, eps, s.MinPts, cfg.Ranks),
+				runDist(dist.MuDBSCAND, pts, eps, s.MinPts, cfg.Ranks))
+		}
+		t.flush()
+	}
+	return nil
+}
+
+// fig6Eps scales the BioLike ε with dimensionality the way the paper scales
+// KDDB's ε from 200 (14D) to 1500 (74D): per-axis spread is constant, so
+// distance grows like √d.
+func fig6Eps(dim int) float64 {
+	return 600 * math.Sqrt(float64(dim)/14)
+}
+
+// Fig6 regenerates Figure 6: μDBSCAN-D run time vs dataset dimensionality
+// on the KDDB analogue (14 → 74 dimensions). Run time should grow steeply
+// with dimension as per-query distance computations get more expensive.
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "Fig 6 analogue: μDBSCAN-D run time (s) vs dimensionality (KDDB-like, %d ranks)\n", cfg.Ranks)
+	t := newTable(cfg.Out)
+	t.row("d", "eps", "time(s)")
+	n := int(14300 * cfg.Scale)
+	if n < 100 {
+		n = 100
+	}
+	for _, d := range []int{14, 24, 34, 54, 74} {
+		pts := data.BioLike(n, d, 1)
+		eps := fig6Eps(d)
+		cell := runDist(dist.MuDBSCAND, pts, eps, 5, cfg.Ranks)
+		t.row(fmt.Sprint(d), fmt.Sprintf("%.0f", eps), cell)
+	}
+	t.flush()
+	return nil
+}
+
+// Fig7 regenerates Figure 7: μDBSCAN-D speedup over sequential μDBSCAN as
+// the rank count grows from 4 to the configured maximum, for several
+// datasets. Per-rank phases are timed in isolation (see the dist package's
+// execution model), so the curves reflect algorithmic scaling — including
+// the superlinear region the paper attributes to smaller per-rank R-trees.
+func Fig7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "Fig 7 analogue: μDBSCAN-D speedup vs ranks (relative to sequential μDBSCAN)")
+	t := newTable(cfg.Out)
+	ranks := []int{4, 8, 16, 32}
+	header := []string{"Dataset", "seq(s)"}
+	for _, p := range ranks {
+		header = append(header, fmt.Sprintf("p=%d", p))
+	}
+	t.row(header...)
+	for _, name := range []string{"MPAGD8M3D-A", "FOF56M3D-A", "KDDB145K14D-A", "3DSRN-A"} {
+		s, _ := SpecByName(name)
+		pts := s.Points(cfg.Scale)
+		seq := timed(func() { core.Run(pts, s.Eps, s.MinPts, core.Options{}) })
+		row := []string{s.ScaledName(cfg.Scale), seconds(seq)}
+		for _, p := range ranks {
+			_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, p, dist.Options{Seed: 1})
+			if err != nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2fx", seq.Seconds()/st.Phases.Total().Seconds()))
+		}
+		t.row(row...)
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mudbscan/internal/core"
+	"mudbscan/internal/dbscan"
+)
+
+// Table1 empirically sanity-checks the complexity claims of Table I. Note
+// that with r = n/m the paper's bound n·log m + n·log r equals n·log(m·r) =
+// n·log n, so the informative comparison is between the *phases*: the
+// construction phase should track n·log m (m << n) and the query phase
+// should track (n - saved)·log r — both well under one n·log n sweep of
+// classical indexed DBSCAN. The table prints per-model constants, which
+// should stay of the same order as n grows.
+func Table1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Table I analogue: empirical complexity scaling of μDBSCAN (MPAGD-like data)")
+	t.row("n", "m", "time(s)", "build/(n·log m) [ns]", "query/(n1·log r) [ns]", "total/(n·log n) [ns]")
+	base := specMPAGD
+	for _, frac := range []float64{0.125, 0.25, 0.5, 1.0} {
+		pts := base.Points(frac * cfg.Scale)
+		n := len(pts)
+		var st *core.Stats
+		d := timed(func() { _, st = core.Run(pts, base.Eps, base.MinPts, core.Options{}) })
+		m := float64(st.NumMCs)
+		r := math.Max(float64(n)/m, 2)
+		n1 := math.Max(float64(st.Queries), 1)
+		build := float64(st.Steps.TreeConstruction.Nanoseconds())
+		query := float64(st.Steps.Clustering.Nanoseconds())
+		t.row(fmt.Sprint(n), fmt.Sprint(st.NumMCs), seconds(d),
+			fmt.Sprintf("%.2f", build/(float64(n)*math.Log2(m))),
+			fmt.Sprintf("%.2f", query/(n1*math.Log2(r))),
+			fmt.Sprintf("%.2f", float64(d.Nanoseconds())/(float64(n)*math.Log2(float64(n)))))
+	}
+	t.flush()
+	return nil
+}
+
+// Table2 regenerates Table II: sequential run time of R-DBSCAN, G-DBSCAN,
+// GridDBSCAN and μDBSCAN on the eight dataset analogues, plus the number of
+// micro-clusters and the percentage of queries μDBSCAN saves.
+func Table2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Table II analogue: sequential run time (s)")
+	t.row("Dataset", "n", "d", "eps", "MinPts", "R-DBSCAN", "G-DBSCAN", "GridDBSCAN", "μDBSCAN", "#MCs(m)", "%query saves")
+	gBudget := int(float64(cfg.GDBSCANMaxN) * cfg.Scale)
+	for _, s := range Table2Specs() {
+		pts := s.Points(cfg.Scale)
+		n := len(pts)
+
+		rTime := timed(func() { dbscan.RDBSCAN(pts, s.Eps, s.MinPts) })
+
+		gCell := "> budget"
+		if n <= gBudget {
+			gTime := timed(func() { dbscan.GDBSCAN(pts, s.Eps, s.MinPts) })
+			gCell = seconds(gTime)
+		}
+
+		gridCell := ""
+		gridTime := timed(func() {
+			if _, _, err := dbscan.GridDBSCAN(pts, s.Eps, s.MinPts, dbscan.GridOptions{}); err != nil {
+				gridCell = "Mem Err"
+			}
+		})
+		if gridCell == "" {
+			gridCell = seconds(gridTime)
+		}
+
+		var st *core.Stats
+		muTime := timed(func() { _, st = core.Run(pts, s.Eps, s.MinPts, core.Options{}) })
+
+		t.row(s.ScaledName(cfg.Scale), fmt.Sprint(n), fmt.Sprint(s.Dim),
+			fmt.Sprintf("%g", s.Eps), fmt.Sprint(s.MinPts),
+			seconds(rTime), gCell, gridCell, seconds(muTime),
+			fmt.Sprint(st.NumMCs), pct(st.QuerySavedPct()))
+	}
+	t.flush()
+	return nil
+}
+
+// Table3 regenerates Table III: the percentage split-up of μDBSCAN's
+// execution time over its four steps, for the four datasets the paper
+// reports.
+func Table3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Table III analogue: % split-up of μDBSCAN step times")
+	t.row("Dataset", "Tree Construction", "Finding Reachable", "Clustering", "Post Core & Noise")
+	for _, name := range []string{"3DSRN-A", "DGB0.5M3D-A", "MPAGB6M3D-A", "KDDB145K14D-A"} {
+		s, _ := SpecByName(name)
+		pts := s.Points(cfg.Scale)
+		_, st := core.Run(pts, s.Eps, s.MinPts, core.Options{})
+		total := st.Steps.Total()
+		share := func(d time.Duration) string {
+			return pct(100 * float64(d) / float64(total))
+		}
+		t.row(s.ScaledName(cfg.Scale),
+			share(st.Steps.TreeConstruction), share(st.Steps.FindingReachable),
+			share(st.Steps.Clustering), share(st.Steps.PostProcessing))
+	}
+	t.flush()
+	return nil
+}
+
+// Table4 regenerates Table IV: peak heap growth of the four sequential
+// algorithms on the paper's four reported datasets.
+func Table4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out)
+	fmt.Fprintln(cfg.Out, "Table IV analogue: peak heap growth")
+	t.row("Dataset", "R-DBSCAN", "G-DBSCAN", "GridDBSCAN", "μDBSCAN")
+	gBudget := int(float64(cfg.GDBSCANMaxN) * cfg.Scale)
+	for _, name := range []string{"3DSRN-A", "DGB0.5M3D-A", "MPAGB6M3D-A", "KDDB145K14D-A"} {
+		s, _ := SpecByName(name)
+		pts := s.Points(cfg.Scale)
+
+		rMem := measurePeakHeap(func() { dbscan.RDBSCAN(pts, s.Eps, s.MinPts) })
+		gCell := "—"
+		if len(pts) <= gBudget {
+			gCell = mb(measurePeakHeap(func() { dbscan.GDBSCAN(pts, s.Eps, s.MinPts) }))
+		}
+		gridCell := ""
+		gridMem := measurePeakHeap(func() {
+			if _, _, err := dbscan.GridDBSCAN(pts, s.Eps, s.MinPts, dbscan.GridOptions{}); err != nil {
+				gridCell = "Mem Err"
+			}
+		})
+		if gridCell == "" {
+			gridCell = mb(gridMem)
+		}
+		muMem := measurePeakHeap(func() { core.Run(pts, s.Eps, s.MinPts, core.Options{}) })
+
+		t.row(s.ScaledName(cfg.Scale), mb(rMem), gCell, gridCell, mb(muMem))
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) on scaled-down analogues of the
+// paper's datasets. Each experiment has a driver that prints the same rows
+// or series the paper reports; cmd/benchtab dispatches to them, and the
+// repository-root benchmarks exercise the same workloads under testing.B.
+//
+// Dataset sizes default to laptop scale (the paper's corpora reach 1B
+// points on a 32-node cluster); every driver accepts a scale factor that
+// multiplies the point counts, so larger machines can push the same
+// workloads up. EXPERIMENTS.md records measured-vs-paper numbers.
+package bench
+
+import (
+	"fmt"
+
+	"mudbscan/internal/data"
+	"mudbscan/internal/geom"
+)
+
+// Spec describes one dataset analogue: the paper dataset it stands in for,
+// its generator, default size and the clustering parameters used in the
+// paper's experiments (rescaled to the generator's coordinate ranges).
+type Spec struct {
+	// Name is the analogue's short name (paper name + "-A" for analogue).
+	Name string
+	// Paper is the dataset name as printed in the paper's tables.
+	Paper string
+	// N is the default point count at scale 1.0.
+	N int
+	// Dim is the dimensionality.
+	Dim int
+	// Eps and MinPts are the clustering parameters (Eps calibrated so the
+	// micro-cluster and query-saving regime matches the paper's, see
+	// DESIGN.md §3).
+	Eps    float64
+	MinPts int
+	// Gen generates n points with the given seed.
+	Gen func(n int, seed int64) []geom.Point
+}
+
+// Points generates the dataset at the given scale (scale 1.0 = Spec.N
+// points), deterministically.
+func (s Spec) Points(scale float64) []geom.Point {
+	n := int(float64(s.N) * scale)
+	if n < 100 {
+		n = 100
+	}
+	return s.Gen(n, 1)
+}
+
+// ScaledName annotates the analogue name with a non-default scale.
+func (s Spec) ScaledName(scale float64) string {
+	if scale == 1.0 {
+		return s.Name
+	}
+	return fmt.Sprintf("%s(x%g)", s.Name, scale)
+}
+
+// Table II dataset analogues. Eps values are calibrated (see
+// TestSpecRegimes) so that the fraction of queries saved and the
+// micro-cluster counts land in the paper's reported regimes.
+var (
+	spec3DSRN = Spec{
+		Name: "3DSRN-A", Paper: "3DSRN", N: 43000, Dim: 3, Eps: 0.18, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.RoadNetworkLike(n, seed) },
+	}
+	specDGB = Spec{
+		Name: "DGB0.5M3D-A", Paper: "DGB0.5M3D", N: 50000, Dim: 3, Eps: 0.75, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed) },
+	}
+	specHHP = Spec{
+		Name: "HHP0.5M5D-A", Paper: "HHP0.5M5D", N: 50000, Dim: 5, Eps: 0.25, MinPts: 6,
+		Gen: func(n int, seed int64) []geom.Point { return data.HouseholdLike(n, 5, seed) },
+	}
+	specMPAGB = Spec{
+		Name: "MPAGB6M3D-A", Paper: "MPAGB6M3D", N: 120000, Dim: 3, Eps: 1.3, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+2) },
+	}
+	specFOF = Spec{
+		Name: "FOF56M3D-A", Paper: "FOF56M3D", N: 160000, Dim: 3, Eps: 3.0, MinPts: 6,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+3) },
+	}
+	specMPAGD = Spec{
+		Name: "MPAGD100M3D-A", Paper: "MPAGD100M3D", N: 200000, Dim: 3, Eps: 2.0, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+4) },
+	}
+	specKDDB14 = Spec{
+		Name: "KDDB145K14D-A", Paper: "KDDB145K14D", N: 14500, Dim: 14, Eps: 600, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.BioLike(n, 14, seed) },
+	}
+	specKDDB24 = Spec{
+		Name: "KDDB145K24D-A", Paper: "KDDB145K24D", N: 14300, Dim: 24, Eps: 750, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.BioLike(n, 24, seed) },
+	}
+)
+
+// Table2Specs returns the eight Table II dataset analogues in paper order.
+func Table2Specs() []Spec {
+	return []Spec{spec3DSRN, specDGB, specHHP, specMPAGB, specFOF, specMPAGD, specKDDB14, specKDDB24}
+}
+
+// Table V distributed-run analogues (paper order). The two giants at the
+// bottom are the "only μDBSCAN-D completes at paper scale" rows.
+var (
+	specMPAGD8M = Spec{
+		Name: "MPAGD8M3D-A", Paper: "MPAGD8M3D", N: 80000, Dim: 3, Eps: 1.6, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+5) },
+	}
+	specFOF14D = Spec{
+		Name: "FOF28M14D-A", Paper: "FOF28M14D", N: 28000, Dim: 14, Eps: 550, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.BioLike(n, 14, seed+6) },
+	}
+	specKDDB74 = Spec{
+		Name: "KDDB145K74D-A", Paper: "KDDB145K74D", N: 14300, Dim: 74, Eps: 1400, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.BioLike(n, 74, seed) },
+	}
+	specMPAGD1B = Spec{
+		Name: "MPAGD1B3D-A", Paper: "MPAGD1B3D", N: 400000, Dim: 3, Eps: 0.6, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+7) },
+	}
+	specFOF500M = Spec{
+		Name: "FOF500M3D-A", Paper: "FOF500M3D", N: 300000, Dim: 3, Eps: 1.6, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+8) },
+	}
+	specMPAGD800M = Spec{
+		Name: "MPAGD800M3D-A", Paper: "MPAGD800M3D", N: 350000, Dim: 3, Eps: 0.7, MinPts: 5,
+		Gen: func(n int, seed int64) []geom.Point { return data.GalaxyLike(n, 3, seed+9) },
+	}
+)
+
+// Table5Specs returns the Table V dataset analogues in paper order.
+func Table5Specs() []Spec {
+	return []Spec{specMPAGD8M, specMPAGD, specFOF, specFOF14D, specKDDB14, specKDDB74, specMPAGD1B, specFOF500M}
+}
+
+// SpecByName finds a dataset analogue by Name or Paper name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range append(Table2Specs(), Table5Specs()...) {
+		if s.Name == name || s.Paper == name {
+			return s, true
+		}
+	}
+	if specMPAGD800M.Name == name || specMPAGD800M.Paper == name {
+		return specMPAGD800M, true
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Out receives the printed table/series.
+	Out io.Writer
+	// Scale multiplies every dataset's default point count (default 1.0).
+	Scale float64
+	// Ranks is the simulated rank count for the distributed experiments
+	// (default 32, the paper's node count).
+	Ranks int
+	// GDBSCANMaxN caps the dataset size G-DBSCAN is attempted on; beyond
+	// it the row prints "> budget", mirroring the paper's ">12 hrs"
+	// entries (default 60000 at scale 1).
+	GDBSCANMaxN int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 32
+	}
+	if c.GDBSCANMaxN <= 0 {
+		c.GDBSCANMaxN = 60000
+	}
+	return c
+}
+
+// table renders aligned rows.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// seconds formats a duration the way the paper's tables do.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// pct formats a percentage with two decimals.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// timed measures fn's wall-clock time.
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// measurePeakHeap runs fn while sampling the heap, and returns the peak
+// heap growth over the pre-run baseline in bytes. The sampling is
+// best-effort (10ms period) but adequate for the order-of-magnitude
+// comparison Table IV makes.
+func measurePeakHeap(fn func()) uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak.Load() {
+					peak.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+	fn()
+	close(done)
+	<-sampler
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak.Load() {
+		peak.Store(ms.HeapAlloc)
+	}
+	p := peak.Load()
+	if p < base {
+		return 0
+	}
+	return p - base
+}
+
+// mb formats bytes as MB with one decimal.
+func mb(b uint64) string { return fmt.Sprintf("%.1f MB", float64(b)/(1<<20)) }

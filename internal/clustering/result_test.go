@@ -1,0 +1,142 @@
+package clustering
+
+import (
+	"strings"
+	"testing"
+
+	"mudbscan/internal/geom"
+)
+
+func TestValidateOK(t *testing.T) {
+	r := &Result{
+		Labels:      []int{0, 0, 1, Noise},
+		Core:        []bool{true, false, true, false},
+		NumClusters: 2,
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumCorePoints() != 2 || r.NumNoise() != 1 {
+		t.Fatalf("counts wrong: cores=%d noise=%d", r.NumCorePoints(), r.NumNoise())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Result
+		want string
+	}{
+		{"core noise", Result{Labels: []int{Noise}, Core: []bool{true}, NumClusters: 0}, "core point 0 labeled noise"},
+		{"range", Result{Labels: []int{5}, Core: []bool{true}, NumClusters: 1}, "outside"},
+		{"unused", Result{Labels: []int{1, 1}, Core: []bool{true, true}, NumClusters: 2}, "label 0 unused"},
+		{"no core", Result{Labels: []int{0}, Core: []bool{false}, NumClusters: 1}, "no core point"},
+		{"len", Result{Labels: []int{0}, Core: nil, NumClusters: 1}, "labels vs"},
+	}
+	for _, c := range cases {
+		err := c.r.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestEquivalentAcceptsPermutation(t *testing.T) {
+	a := &Result{Labels: []int{0, 0, 1, Noise}, Core: []bool{true, true, true, false}, NumClusters: 2}
+	b := &Result{Labels: []int{1, 1, 0, Noise}, Core: []bool{true, true, true, false}, NumClusters: 2}
+	if err := Equivalent(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentAcceptsBorderReassignment(t *testing.T) {
+	// Point 2 is a border that legally flips between clusters 0 and 1.
+	a := &Result{Labels: []int{0, 1, 0}, Core: []bool{true, true, false}, NumClusters: 2}
+	b := &Result{Labels: []int{0, 1, 1}, Core: []bool{true, true, false}, NumClusters: 2}
+	if err := Equivalent(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentRejects(t *testing.T) {
+	base := &Result{Labels: []int{0, 0, 1, Noise}, Core: []bool{true, true, true, false}, NumClusters: 2}
+	cases := []struct {
+		name string
+		b    *Result
+	}{
+		{"core flag", &Result{Labels: []int{0, 0, 1, Noise}, Core: []bool{true, false, true, false}, NumClusters: 2}},
+		{"count", &Result{Labels: []int{0, 0, 0, Noise}, Core: []bool{true, true, true, false}, NumClusters: 1}},
+		{"split", &Result{Labels: []int{0, 1, 2, Noise}, Core: []bool{true, true, true, false}, NumClusters: 3}},
+		{"noise status", &Result{Labels: []int{0, 0, 1, 1}, Core: []bool{true, true, true, false}, NumClusters: 2}},
+		{"size", &Result{Labels: []int{0}, Core: []bool{true}, NumClusters: 1}},
+	}
+	for _, c := range cases {
+		if err := Equivalent(base, c.b); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestEquivalentRejectsMerge(t *testing.T) {
+	// a has clusters {0},{1}; b merges both cores into one cluster but keeps
+	// count via an extra singleton-core cluster.
+	a := &Result{Labels: []int{0, 1, 1}, Core: []bool{true, true, true}, NumClusters: 2}
+	b := &Result{Labels: []int{0, 0, 1}, Core: []bool{true, true, true}, NumClusters: 2}
+	if err := Equivalent(a, b); err == nil {
+		t.Fatal("expected merge rejection")
+	}
+}
+
+func TestCheckBorders(t *testing.T) {
+	pts := []geom.Point{{0}, {0.5}, {10}}
+	good := &Result{Labels: []int{0, 0, Noise}, Core: []bool{true, false, false}, NumClusters: 1}
+	if err := CheckBorders(pts, 1.0, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Result{Labels: []int{0, 0, 0}, Core: []bool{true, false, false}, NumClusters: 1}
+	if err := CheckBorders(pts, 1.0, bad); err == nil {
+		t.Fatal("point at distance 10 must not be a border of cluster 0")
+	}
+}
+
+func TestClusterSizesAndMembers(t *testing.T) {
+	r := &Result{
+		Labels:      []int{0, 1, 0, Noise, 1, 1},
+		Core:        []bool{true, true, false, false, true, false},
+		NumClusters: 2,
+	}
+	sizes := r.ClusterSizes()
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 3 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+	if m := r.Members(0); len(m) != 2 || m[0] != 0 || m[1] != 2 {
+		t.Fatalf("members(0)=%v", m)
+	}
+	if m := r.Members(Noise); len(m) != 1 || m[0] != 3 {
+		t.Fatalf("members(noise)=%v", m)
+	}
+}
+
+func TestFromUnionLabels(t *testing.T) {
+	// components: {0,1} with core, {2} core alone, {3,4} no core, {5} no core
+	comp := []int{7, 7, 3, 9, 9, 2}
+	core := []bool{true, false, true, false, false, false}
+	r := FromUnionLabels(comp, core)
+	if r.NumClusters != 2 {
+		t.Fatalf("NumClusters=%d want 2", r.NumClusters)
+	}
+	if r.Labels[0] != 0 || r.Labels[1] != 0 {
+		t.Fatalf("first component labels %v", r.Labels)
+	}
+	if r.Labels[2] != 1 {
+		t.Fatalf("second cluster label %d", r.Labels[2])
+	}
+	for _, i := range []int{3, 4, 5} {
+		if r.Labels[i] != Noise {
+			t.Fatalf("point %d should be noise", i)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

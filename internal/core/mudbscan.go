@@ -1,0 +1,499 @@
+// Package core implements μDBSCAN (§IV of the paper): exact DBSCAN
+// clustering that identifies most core points *without* ε-neighborhood
+// queries by exploiting micro-clusters, and accelerates the remaining
+// queries through the two-level μR-tree and reachable micro-cluster lists.
+//
+// The algorithm runs in four steps:
+//
+//  1. μR-tree construction and discovery of preliminary clusters: points are
+//     grouped into micro-clusters; dense and core micro-clusters yield
+//     "wndq-core" points (core without neighborhood query, Lemmas 1 and 2)
+//     and preliminary unions.
+//  2. Reachable micro-cluster computation (Lemma 3) to bound every later
+//     search to MCs whose centers are within 3ε.
+//  3. Clustering: each point not yet known core runs one exact
+//     ε-neighborhood query confined to its filtered reachable MCs; dense
+//     ε/2-neighborhoods dynamically mark further wndq-cores, saving their
+//     queries too.
+//  4. Post-processing: wndq-core points are merged with every other core
+//     within ε by targeted distance checks (Algorithm 7), and provisional
+//     noise is rectified against late-discovered cores from the stored
+//     neighborhoods (Algorithm 8).
+//
+// The result is exactly the clustering of traditional DBSCAN: the same core
+// points, the same core-point partition, the same number of clusters and the
+// same noise set (Theorem 1).
+package core
+
+import (
+	"time"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mc"
+	"mudbscan/internal/unionfind"
+)
+
+// Options tunes μDBSCAN; the zero value gives the algorithm exactly as
+// published. The Disable* knobs exist for the ablation benchmarks and never
+// affect exactness, only performance.
+type Options struct {
+	// Fanout is the R-tree node capacity for both μR-tree levels.
+	Fanout int
+	// NoDeferral disables the 2ε micro-cluster creation deferral (more MCs).
+	NoDeferral bool
+	// DisableWndq disables core identification without queries: every point
+	// is queried, as in classic DBSCAN (micro-clusters then only accelerate
+	// the queries).
+	DisableWndq bool
+	// WholeSpaceQueries ignores the reachable lists and queries every MC's
+	// auxiliary tree (still MBR-pruned).
+	WholeSpaceQueries bool
+}
+
+// StepTimes records the wall-clock split of a run over the paper's four
+// reported phases (Table III).
+type StepTimes struct {
+	TreeConstruction time.Duration // micro-cluster + μR-tree build, MC classification
+	FindingReachable time.Duration // reachable micro-cluster lists
+	Clustering       time.Duration // preliminary unions + neighborhood queries
+	PostProcessing   time.Duration // wndq-core merging + noise rectification
+}
+
+// Total returns the sum of all step durations.
+func (s StepTimes) Total() time.Duration {
+	return s.TreeConstruction + s.FindingReachable + s.Clustering + s.PostProcessing
+}
+
+// Stats reports the work performed by a μDBSCAN run.
+type Stats struct {
+	// NumMCs is m, the number of micro-clusters formed.
+	NumMCs int
+	// Queries is the number of ε-neighborhood queries executed.
+	Queries int
+	// QueriesSaved is the number of points proven core without a query
+	// (wndq-core points from steps 1 and 3).
+	QueriesSaved int
+	// DistCalcs counts point-to-point distance computations across all
+	// phases, including post-processing.
+	DistCalcs int64
+	// WndqFromMCs and WndqDynamic split the saved queries between step 1
+	// (DMC/CMC classification) and step 3 (dense ε/2-neighborhoods).
+	WndqFromMCs int
+	WndqDynamic int
+	// Steps is the wall-clock phase split.
+	Steps StepTimes
+}
+
+// QuerySavedPct returns the percentage of potential queries saved.
+func (s *Stats) QuerySavedPct() float64 {
+	total := s.Queries + s.QueriesSaved
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.QueriesSaved) / float64(total)
+}
+
+// Run clusters pts with μDBSCAN and returns the exact DBSCAN result together
+// with run statistics.
+func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.Result, *Stats) {
+	lr := RunLocal(pts, eps, minPts, len(pts), opts)
+	if len(pts) == 0 {
+		return &clustering.Result{}, lr.Stats
+	}
+	comp := make([]int, len(pts))
+	for i, c := range lr.Comp {
+		comp[i] = int(c)
+	}
+	return clustering.FromUnionLabels(comp, lr.Core), lr.Stats
+}
+
+// Pair records a cross-partition link discovered during a distributed-local
+// run: A is a locally-proven core point and B a halo point that was not
+// provably core at record time but lies strictly within ε of A. The merge
+// phase resolves B's true status with its owner (§V-C).
+type Pair struct {
+	A, B int32
+}
+
+// LocalResult is the full rank-local state that μDBSCAN-D's merge phase
+// consumes. Indices are into the combined local+halo point slice; points
+// with index >= LocalCount are halo copies owned by other ranks.
+type LocalResult struct {
+	LocalCount int
+	// Core flags: exact for local points (their complete ε-neighborhood is
+	// present thanks to the halo), a sound lower bound for halo points.
+	Core []bool
+	// Comp[i] is the local union-find component representative of point i.
+	Comp []int32
+	// Assigned marks local non-core points already claimed as borders.
+	Assigned []bool
+	// Pairs are the deferred core→halo links (see Pair).
+	Pairs []Pair
+	// NoiseNbhd holds, for each provisionally-noise local point, its stored
+	// ε-neighborhood (Algorithm 8 state), which the merge phase re-examines
+	// once exact halo core flags arrive.
+	NoiseNbhd map[int32][]int32
+	Stats     *Stats
+}
+
+// RunLocal executes μDBSCAN over a combined local+halo point set, treating
+// only the first localCount points as owned by this rank: halo points serve
+// as neighbors (and may be proven core, which is sound because coreness is
+// monotone in the visible evidence) but are never queried, never provisional
+// noise, and never receive border-claim unions — those become Pairs for the
+// merge phase. With localCount == len(pts) this is exactly sequential
+// μDBSCAN.
+func RunLocal(pts []geom.Point, eps float64, minPts int, localCount int, opts Options) *LocalResult {
+	st := &Stats{}
+	n := len(pts)
+	if n == 0 {
+		return &LocalResult{Stats: st, NoiseNbhd: map[int32][]int32{}}
+	}
+
+	// Step 1: μR-tree construction (micro-clusters, aux trees, kinds).
+	start := time.Now()
+	ix := mc.Build(pts, eps, minPts, mc.Options{
+		Fanout:        opts.Fanout,
+		NoDeferral:    opts.NoDeferral,
+		SkipReachable: true,
+	})
+	st.Steps.TreeConstruction = time.Since(start)
+	st.NumMCs = ix.NumMCs()
+
+	// Step 2: reachable micro-cluster lists. Even under the
+	// WholeSpaceQueries ablation these are needed: the post-processing-core
+	// step walks reachable members for its targeted distance checks.
+	start = time.Now()
+	ix.ComputeReachable()
+	st.Steps.FindingReachable = time.Since(start)
+
+	// Step 3: preliminary clusters from DMC/CMC, then neighborhood queries
+	// with dynamic wndq-core identification.
+	start = time.Now()
+	r := newRun(pts, eps, minPts, localCount, ix, opts, st)
+	if !opts.DisableWndq {
+		r.preliminaryClusters()
+	}
+	r.processRemaining()
+	st.Steps.Clustering = time.Since(start)
+
+	// Step 4: final connections.
+	start = time.Now()
+	r.postProcessCore()
+	r.postProcessNoise()
+	st.Steps.PostProcessing = time.Since(start)
+
+	st.Queries = localCount - st.QueriesSaved
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = int32(r.uf.Find(i))
+	}
+	noise := make(map[int32][]int32, len(r.noiseList))
+	for _, e := range r.noiseList {
+		noise[e.id] = e.nbhd
+	}
+	return &LocalResult{
+		LocalCount: localCount,
+		Core:       r.core,
+		Comp:       comp,
+		Assigned:   r.assigned,
+		Pairs:      r.pairs,
+		NoiseNbhd:  noise,
+		Stats:      st,
+	}
+}
+
+// run carries the mutable state of one μDBSCAN execution.
+type run struct {
+	pts        []geom.Point
+	eps        float64
+	minPts     int
+	localCount int
+	ix         *mc.Index
+	opts       Options
+	st         *Stats
+
+	uf       *unionfind.UF
+	core     []bool
+	wndq     []bool // core, proven without a query (skip its query)
+	assigned []bool // non-core point already claimed by a cluster
+	queried  []bool
+
+	wndqList  []int32
+	noiseList []noiseEntry
+	pairs     []Pair
+	// mcWhole[id] reports that every member of MC id shares the center's
+	// union-find component permanently (set by preliminaryClusters).
+	mcWhole []bool
+}
+
+// isHalo reports whether combined index i is a halo copy owned elsewhere.
+func (r *run) isHalo(i int32) bool { return int(i) >= r.localCount }
+
+// linkFromCore handles the union between a proven-core point c and a point q
+// strictly within ε of it, reporting whether a union was performed. Unions
+// onto non-core halo points would be unilateral border claims on points
+// this rank does not own, so those become deferred Pairs instead.
+func (r *run) linkFromCore(c, q int32) bool {
+	if r.core[q] {
+		r.uf.Union(int(c), int(q))
+		return true
+	}
+	if r.isHalo(q) {
+		// Halo-to-halo links are the owner's business: the owner of q sees
+		// the core side in its own halo and will form the link itself.
+		if !r.isHalo(c) {
+			r.pairs = append(r.pairs, Pair{A: c, B: q})
+		}
+		return false
+	}
+	if !r.assigned[q] {
+		r.uf.Union(int(c), int(q))
+		r.assigned[q] = true
+		return true
+	}
+	return false
+}
+
+// noiseEntry keeps a provisional noise point together with its computed
+// neighborhood for the Algorithm 8 rectification pass.
+type noiseEntry struct {
+	id   int32
+	nbhd []int32
+}
+
+func newRun(pts []geom.Point, eps float64, minPts, localCount int, ix *mc.Index, opts Options, st *Stats) *run {
+	n := len(pts)
+	return &run{
+		pts: pts, eps: eps, minPts: minPts, localCount: localCount,
+		ix: ix, opts: opts, st: st,
+		uf:       unionfind.New(n),
+		core:     make([]bool, n),
+		wndq:     make([]bool, n),
+		assigned: make([]bool, n),
+		queried:  make([]bool, n),
+		mcWhole:  make([]bool, ix.NumMCs()),
+	}
+}
+
+// preliminaryClusters implements Algorithm 4: every DMC contributes its
+// inner circle (and center) as wndq-core points; every CMC contributes its
+// center; all members of either kind are unioned with the center. When every
+// member ended up in the center's component, the MC is flagged "whole": it
+// will occupy a single union-find component forever (unions only merge),
+// which postProcessCore exploits.
+func (r *run) preliminaryClusters() {
+	for _, z := range r.ix.MCs {
+		if z.Kind == mc.SMC {
+			continue
+		}
+		center := int32(z.CenterID)
+		r.markWndq(center, true)
+		if z.Kind == mc.DMC {
+			for _, q := range z.InnerIDs {
+				r.markWndq(q, true)
+			}
+		}
+		whole := true
+		for _, p := range z.Members {
+			if p == center {
+				continue
+			}
+			if !r.linkFromCore(center, p) {
+				whole = false
+			}
+		}
+		r.mcWhole[z.ID] = whole
+	}
+}
+
+// markWndq declares point id core without a query. fromMC records whether it
+// came from MC classification (step 1) or a dense ε/2-neighborhood (step 3).
+// Query-saving statistics only count local points: halo points were never
+// going to be queried here.
+func (r *run) markWndq(id int32, fromMC bool) {
+	if r.core[id] {
+		return
+	}
+	r.core[id] = true
+	r.wndq[id] = true
+	r.wndqList = append(r.wndqList, id)
+	if r.isHalo(id) {
+		return
+	}
+	r.st.QueriesSaved++
+	if fromMC {
+		r.st.WndqFromMCs++
+	} else {
+		r.st.WndqDynamic++
+	}
+}
+
+// processRemaining implements Algorithm 6: one exact ε-neighborhood query
+// for every point not known core, with dense ε/2-balls promoting their
+// members to wndq-core.
+func (r *run) processRemaining() {
+	half2 := (r.eps / 2) * (r.eps / 2)
+	// Reused per-query buffers.
+	var nbhd []int32
+	var inner []bool
+	for i := 0; i < r.localCount; i++ {
+		if r.wndq[i] {
+			continue
+		}
+		p := r.pts[i]
+		nbhd = nbhd[:0]
+		inner = inner[:0]
+		innerCount := 0
+		collect := func(id int, pt geom.Point) {
+			nbhd = append(nbhd, int32(id))
+			in := geom.DistSq(p, pt) < half2
+			inner = append(inner, in)
+			if in {
+				innerCount++
+			}
+		}
+		var calcs int
+		if r.opts.WholeSpaceQueries {
+			calcs = r.ix.WholeSpaceNeighborhood(p, collect)
+		} else {
+			calcs, _ = r.ix.EpsNeighborhood(p, i, collect)
+		}
+		r.st.DistCalcs += int64(calcs) + int64(len(nbhd)) // query + inner-circle tests
+		r.queried[i] = true
+
+		if len(nbhd) < r.minPts {
+			// A point already claimed as a border (e.g. by a preliminary
+			// DMC/CMC union) must stay in that cluster: attaching it to the
+			// first core in its own neighborhood could bridge two clusters
+			// through a non-core point.
+			if r.assigned[i] {
+				continue
+			}
+			joined := false
+			for _, q := range nbhd {
+				if r.core[q] {
+					r.uf.Union(int(q), i)
+					r.assigned[i] = true
+					joined = true
+					break
+				}
+			}
+			if !joined {
+				r.noiseList = append(r.noiseList, noiseEntry{
+					id:   int32(i),
+					nbhd: append([]int32(nil), nbhd...),
+				})
+			}
+			continue
+		}
+
+		r.core[i] = true
+		// Dynamic wndq-core promotion (Algorithm 6, FIND-NBHD lines 18-21):
+		// a dense ε/2-ball proves all its members core (their ε-balls
+		// contain it entirely).
+		if !r.opts.DisableWndq && innerCount >= r.minPts {
+			for k, q := range nbhd {
+				if inner[k] && int(q) != i && !r.core[q] {
+					r.markWndq(q, false)
+				}
+			}
+		}
+		for _, q := range nbhd {
+			if int(q) == i {
+				continue
+			}
+			r.linkFromCore(int32(i), q)
+		}
+	}
+}
+
+// postProcessCore implements Algorithm 7: every wndq-core point is merged
+// with every core point strictly within ε found among the members of its
+// filtered reachable micro-clusters. Targeted distance checks only — no
+// neighborhood queries.
+//
+// As in the paper's pseudocode, the distance computation is skipped when
+// the two cores already share a cluster. Two exploitations of the union
+// structure cut the cost well below a naive per-candidate Same():
+//
+//   - p's own root is cached across candidates;
+//   - step 1 unioned every member of most DMCs/CMCs with their center
+//     (tracked per MC by mcWhole — in distributed-local runs an MC loses
+//     the flag if a halo member's union was deferred), so such an MC
+//     permanently shares one component: a single representative lookup
+//     decides it, and after the first merging union the rest of the MC can
+//     be skipped.
+//
+// The per-member path remains for SMCs (never pre-unioned) and for MCs with
+// deferred halo members.
+func (r *run) postProcessCore() {
+	eps2 := r.eps * r.eps
+	prune2 := 4 * r.eps * r.eps
+	for _, pid := range r.wndqList {
+		p := r.pts[pid]
+		rootP := r.uf.Find(int(pid))
+		region := geom.Region(p, r.eps)
+		for _, rid := range r.ix.MCs[r.ix.PointMC[pid]].Reach {
+			z := r.ix.MCs[rid]
+			if geom.DistSq(p, z.Center) >= prune2 {
+				continue
+			}
+			if !z.Aux.RootMBR().Overlaps(region) {
+				continue
+			}
+			wholeMC := r.mcWhole[rid]
+			if wholeMC && r.uf.Find(z.CenterID) == rootP {
+				continue
+			}
+			for _, q := range z.Members {
+				if q == pid {
+					continue
+				}
+				if r.core[q] {
+					if !wholeMC && r.uf.Find(int(q)) == rootP {
+						continue
+					}
+					r.st.DistCalcs++
+					if geom.DistSq(p, r.pts[q]) >= eps2 {
+						continue
+					}
+					r.uf.Union(int(pid), int(q))
+					rootP = r.uf.Find(int(pid))
+					if wholeMC {
+						// The union just absorbed the whole micro-cluster.
+						break
+					}
+					continue
+				}
+				// A non-core halo candidate within ε of a local-side core
+				// is a deferred cross link: its owner decides its status.
+				if r.isHalo(q) && !r.isHalo(pid) {
+					r.st.DistCalcs++
+					if geom.DistSq(p, r.pts[q]) < eps2 {
+						r.pairs = append(r.pairs, Pair{A: pid, B: q})
+					}
+				}
+			}
+		}
+	}
+}
+
+// postProcessNoise implements Algorithm 8: a provisional noise point whose
+// stored neighborhood turns out to contain a core point (one promoted after
+// the point was processed) becomes a border of that core's cluster.
+func (r *run) postProcessNoise() {
+	for _, e := range r.noiseList {
+		if r.assigned[e.id] || r.core[e.id] {
+			continue
+		}
+		for _, q := range e.nbhd {
+			if r.core[q] {
+				r.uf.Union(int(q), int(e.id))
+				r.assigned[e.id] = true
+				break
+			}
+		}
+	}
+}

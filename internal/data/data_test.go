@@ -1,0 +1,178 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mc"
+)
+
+func TestGeneratorsBasicProperties(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() []geom.Point
+		n    int
+		dim  int
+	}{
+		{"GalaxyLike", func() []geom.Point { return GalaxyLike(2000, 3, 1) }, 2000, 3},
+		{"RoadNetworkLike", func() []geom.Point { return RoadNetworkLike(2000, 1) }, 2000, 3},
+		{"HouseholdLike", func() []geom.Point { return HouseholdLike(2000, 5, 1) }, 2000, 5},
+		{"BioLike", func() []geom.Point { return BioLike(500, 14, 1) }, 500, 14},
+		{"Uniform", func() []geom.Point { return Uniform(1000, 2, 10, 1) }, 1000, 2},
+		{"Blobs", func() []geom.Point { return Blobs(1000, 3, 4, 0.3, 0.1, 1) }, 1000, 3},
+	}
+	for _, c := range cases {
+		pts := c.gen()
+		if len(pts) != c.n {
+			t.Errorf("%s: n=%d want %d", c.name, len(pts), c.n)
+		}
+		for i, p := range pts {
+			if len(p) != c.dim {
+				t.Fatalf("%s: point %d has dim %d want %d", c.name, i, len(p), c.dim)
+			}
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: point %d has invalid coordinate", c.name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := GalaxyLike(500, 3, 42)
+	b := GalaxyLike(500, 3, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("GalaxyLike not deterministic at %d", i)
+		}
+	}
+	c := GalaxyLike(500, 3, 43)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// Regime checks: the generators must land in the micro-cluster regimes that
+// drive the paper's numbers (Table II: m << n, with HHP/KDDB extreme).
+func TestGeneratorRegimes(t *testing.T) {
+	galaxy := GalaxyLike(20000, 3, 7)
+	ixG := mc.Build(galaxy, 1.0, 5, mc.Options{})
+	if m := ixG.NumMCs(); m < 100 || m > 15000 {
+		t.Errorf("GalaxyLike m=%d out of clustered regime for n=20000", m)
+	}
+
+	hh := HouseholdLike(20000, 5, 7)
+	ixH := mc.Build(hh, 0.6, 6, mc.Options{})
+	if m := ixH.NumMCs(); m > 2000 {
+		t.Errorf("HouseholdLike m=%d; should be very small (dense regime)", m)
+	}
+
+	bio := BioLike(5000, 14, 7)
+	ixB := mc.Build(bio, 200, 5, mc.Options{})
+	if m := ixB.NumMCs(); m > 1500 {
+		t.Errorf("BioLike m=%d; high-dim huge-eps regime should give few MCs", m)
+	}
+
+	road := RoadNetworkLike(20000, 7)
+	ixR := mc.Build(road, 0.25, 5, mc.Options{})
+	if m := ixR.NumMCs(); m < 200 {
+		t.Errorf("RoadNetworkLike m=%d; 1-D manifold should spread into many MCs", m)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Blobs(50, 3, 2, 0.5, 0.1, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip %d -> %d points", len(pts), len(got))
+	}
+	for i := range pts {
+		if !pts[i].Equal(got[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVFormats(t *testing.T) {
+	in := "# comment\n1,2,3\n\n4 5 6\n7;8;9\n"
+	pts, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || !pts[1].Equal(geom.Point{4, 5, 6}) {
+		t.Fatalf("parsed %v", pts)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("mixed dims should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("bad float should error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	pts := Blobs(123, 4, 3, 0.4, 0.2, 9)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip %d -> %d", len(pts), len(got))
+	}
+	for i := range pts {
+		if !pts[i].Equal(got[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header should error")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Blobs(10, 2, 1, 0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	b[0] ^= 0xFF
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-4])); err == nil {
+		t.Fatal("truncated body should error")
+	}
+}
+
+func TestWriteBinaryMixedDimsError(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteBinary(&buf, []geom.Point{{1, 2}, {1}})
+	if err == nil {
+		t.Fatal("mixed dims should error")
+	}
+}

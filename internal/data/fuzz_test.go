@@ -1,0 +1,76 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("1,2,3\n4,5,6\n"))
+	f.Add([]byte("# comment\n\n1 2\n3\t4\n"))
+	f.Add([]byte("1;2\n"))
+	f.Add([]byte("nan,1\n"))
+	f.Add([]byte("1e999\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		pts, err := ReadCSV(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Parsed datasets must be rectangular, and must survive a
+		// write/read round trip bit-exactly.
+		if len(pts) == 0 {
+			return
+		}
+		dim := len(pts[0])
+		for i, p := range pts {
+			if len(p) != dim {
+				t.Fatalf("row %d has dim %d, want %d", i, len(p), dim)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pts); err != nil {
+			t.Fatalf("WriteCSV of parsed data: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip %d -> %d rows", len(pts), len(again))
+		}
+		for i := range pts {
+			if !pts[i].Equal(again[i]) {
+				t.Fatalf("row %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteBinary(&good, Blobs(5, 3, 1, 0.5, 0, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x0D, 0x75, 0x4D})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		// Must never panic or over-allocate on corrupt input; valid parses
+		// must round trip.
+		pts, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if len(pts) > 0 {
+			if err := WriteBinary(&buf, pts); err != nil {
+				t.Fatalf("WriteBinary of parsed data: %v", err)
+			}
+			again, err := ReadBinary(&buf)
+			if err != nil || len(again) != len(pts) {
+				t.Fatalf("round trip: %v %d", err, len(again))
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"mudbscan/internal/geom"
+)
+
+// binaryMagic identifies the compact binary dataset format.
+const binaryMagic = 0x4D750D42 // "Mu\rB"
+
+// WriteCSV writes one point per line, comma-separated, full float precision.
+func WriteCSV(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		for j, v := range p {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses points from comma- or whitespace-separated lines. Empty
+// lines and lines starting with '#' are skipped. All rows must share one
+// dimensionality.
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	dim := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == ';'
+		})
+		p := make(geom.Point, 0, len(fields))
+		for _, f := range fields {
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: %v", line, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("data: line %d: non-finite coordinate %q", line, f)
+			}
+			p = append(p, v)
+		}
+		if len(p) == 0 {
+			continue
+		}
+		if dim == -1 {
+			dim = len(p)
+		} else if len(p) != dim {
+			return nil, fmt.Errorf("data: line %d has %d coordinates, want %d", line, len(p), dim)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// WriteBinary writes points in the compact binary format:
+// magic(u32) dim(u32) n(u64), then n*dim little-endian float64s.
+func WriteBinary(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	dim := 0
+	if len(pts) > 0 {
+		dim = len(pts[0])
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dim))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(pts)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, p := range pts {
+		if len(p) != dim {
+			return fmt.Errorf("data: mixed dimensionality %d vs %d", len(p), dim)
+		}
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) ([]geom.Point, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("data: short header: %v", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binaryMagic {
+		return nil, fmt.Errorf("data: bad magic")
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[4:]))
+	n := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if dim <= 0 || dim > 1<<16 || n < 0 {
+		return nil, fmt.Errorf("data: implausible header dim=%d n=%d", dim, n)
+	}
+	flat := make([]byte, 8*dim)
+	// Grow incrementally: a hostile header must not trigger a huge
+	// allocation before the (truncated) body is read.
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	pts := make([]geom.Point, 0, capHint)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, flat); err != nil {
+			return nil, fmt.Errorf("data: truncated at point %d: %v", i, err)
+		}
+		p := make(geom.Point, dim)
+		for j := 0; j < dim; j++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(flat[8*j:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("data: point %d has non-finite coordinate", i)
+			}
+			p[j] = v
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

@@ -1,0 +1,29 @@
+package dbscan
+
+import (
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/unionfind"
+)
+
+// Brute runs textbook DBSCAN with O(n²) neighborhood queries. It is the
+// ground truth that every exact algorithm in this repository is tested
+// against, and the no-index lower baseline for the benchmarks.
+func Brute(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Stats) {
+	n := len(pts)
+	uf := unionfind.New(n)
+	core := make([]bool, n)
+	var dist int64
+	st := unionFindDBSCAN(n, minPts, uf, core, nil, func(i int) []int {
+		var nbhd []int
+		for j, q := range pts {
+			dist++
+			if geom.Within(pts[i], q, eps) {
+				nbhd = append(nbhd, j)
+			}
+		}
+		return nbhd
+	})
+	st.DistCalcs = dist
+	return finish(uf, core), st
+}

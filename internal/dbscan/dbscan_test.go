@@ -1,0 +1,278 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+)
+
+// blobs generates k Gaussian blobs plus uniform noise — small analogues of
+// the clustered workloads DBSCAN is evaluated on.
+func blobs(rng *rand.Rand, n, d, k int, spread, noiseFrac float64) []geom.Point {
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		c := make(geom.Point, d)
+		for j := range c {
+			c[j] = rng.Float64() * 20
+		}
+		centers[i] = c
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		if rng.Float64() < noiseFrac {
+			for j := range p {
+				p[j] = rng.Float64() * 20
+			}
+		} else {
+			c := centers[rng.Intn(k)]
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*spread
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func requireExact(t *testing.T, name string, pts []geom.Point, eps float64, minPts int,
+	got *clustering.Result, want *clustering.Result) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: invalid result: %v", name, err)
+	}
+	if err := clustering.Equivalent(want, got); err != nil {
+		t.Fatalf("%s: not exact: %v", name, err)
+	}
+	if err := clustering.CheckBorders(pts, eps, got); err != nil {
+		t.Fatalf("%s: bad border: %v", name, err)
+	}
+}
+
+func TestBruteBasicShapes(t *testing.T) {
+	// Two well-separated pairs of dense blobs and one isolated point.
+	pts := []geom.Point{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, // cluster A
+		{5, 5}, {5.1, 5}, {5, 5.1}, {5.1, 5.1}, // cluster B
+		{10, 10}, // noise
+	}
+	r, st := Brute(pts, 0.5, 3)
+	if r.NumClusters != 2 {
+		t.Fatalf("NumClusters=%d want 2", r.NumClusters)
+	}
+	if r.Labels[8] != clustering.Noise {
+		t.Fatal("isolated point should be noise")
+	}
+	if r.Labels[0] == r.Labels[4] {
+		t.Fatal("separated blobs must be distinct clusters")
+	}
+	if st.Queries != len(pts) {
+		t.Fatalf("Brute must query every point, got %d", st.Queries)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBorderPointSharedBetweenClusters(t *testing.T) {
+	// A classic bridge: border point between two cores that are themselves
+	// farther than eps apart.
+	pts := []geom.Point{
+		{0}, {0.5}, {-0.5}, {-0.2}, // cluster A (0.5 is core)
+		{2.1}, {2.4}, {2.6}, {2.9}, // cluster B (2.1 is core)
+		{1.2}, // bridge: only 2 neighbors + itself => border of both
+	}
+	r, _ := Brute(pts, 1.0, 4)
+	if r.Core[8] {
+		t.Fatal("bridge point must not be core")
+	}
+	if r.Labels[8] == clustering.Noise {
+		t.Fatal("bridge point must be a border, not noise")
+	}
+	if r.NumClusters != 2 {
+		t.Fatalf("NumClusters=%d want 2", r.NumClusters)
+	}
+}
+
+func TestAllAlgorithmsExactOnBlobs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + int(seed)%3
+		pts := blobs(rng, 600, d, 4, 0.3, 0.15)
+		eps, minPts := 0.4, 5
+		want, _ := Brute(pts, eps, minPts)
+
+		got, _ := RDBSCAN(pts, eps, minPts)
+		requireExact(t, "RDBSCAN", pts, eps, minPts, got, want)
+
+		got, _ = GDBSCAN(pts, eps, minPts)
+		requireExact(t, "GDBSCAN", pts, eps, minPts, got, want)
+
+		got, _ = KDBSCAN(pts, eps, minPts)
+		requireExact(t, "KDBSCAN", pts, eps, minPts, got, want)
+
+		got, _, err := GridDBSCAN(pts, eps, minPts, GridOptions{})
+		if err != nil {
+			t.Fatalf("GridDBSCAN: %v", err)
+		}
+		requireExact(t, "GridDBSCAN", pts, eps, minPts, got, want)
+	}
+}
+
+func TestGridDBSCANSavesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := blobs(rng, 2000, 2, 3, 0.2, 0.05)
+	_, st, err := GridDBSCAN(pts, 0.5, 4, GridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesSaved == 0 {
+		t.Fatal("dense 2D blobs should produce dense cells and saved queries")
+	}
+	if st.Queries+st.QueriesSaved != len(pts) {
+		t.Fatalf("queries %d + saved %d != n %d", st.Queries, st.QueriesSaved, len(pts))
+	}
+	if st.QuerySavedPct() <= 0 {
+		t.Fatal("QuerySavedPct should be positive")
+	}
+}
+
+func TestGridDBSCANHighDimMemoryError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := blobs(rng, 300, 14, 2, 1.0, 0.1)
+	_, _, err := GridDBSCAN(pts, 2.0, 5, GridOptions{MaxNeighborEnum: 1000, MaxCellPairs: 100})
+	if err != ErrGridMemory {
+		t.Fatalf("expected ErrGridMemory, got %v", err)
+	}
+}
+
+func TestGridDBSCANHighDimFallbackPath(t *testing.T) {
+	// Force the pairwise neighbor-list path with a tiny enum budget but a
+	// generous pair budget, and verify exactness is preserved.
+	rng := rand.New(rand.NewSource(11))
+	pts := blobs(rng, 300, 5, 3, 0.3, 0.1)
+	eps, minPts := 0.8, 4
+	want, _ := Brute(pts, eps, minPts)
+	got, _, err := GridDBSCAN(pts, eps, minPts, GridOptions{MaxNeighborEnum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "GridDBSCAN-fallback", pts, eps, minPts, got, want)
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if r, _ := Brute(nil, 1, 3); len(r.Labels) != 0 {
+		t.Fatal("Brute on empty")
+	}
+	if r, _ := RDBSCAN(nil, 1, 3); len(r.Labels) != 0 {
+		t.Fatal("RDBSCAN on empty")
+	}
+	if r, _ := GDBSCAN(nil, 1, 3); len(r.Labels) != 0 {
+		t.Fatal("GDBSCAN on empty")
+	}
+	if r, _, err := GridDBSCAN(nil, 1, 3, GridOptions{}); err != nil || len(r.Labels) != 0 {
+		t.Fatal("GridDBSCAN on empty")
+	}
+}
+
+func TestSinglePointIsNoise(t *testing.T) {
+	r, _ := Brute([]geom.Point{{1, 1}}, 1, 2)
+	if r.Labels[0] != clustering.Noise || r.NumClusters != 0 {
+		t.Fatal("lonely point must be noise")
+	}
+}
+
+func TestMinPtsOne(t *testing.T) {
+	// With MinPts=1 every point is core; clusters are ε-connected components.
+	pts := []geom.Point{{0}, {0.5}, {3}}
+	want, _ := Brute(pts, 1, 1)
+	if want.NumClusters != 2 || want.NumNoise() != 0 {
+		t.Fatalf("brute minPts=1: clusters=%d noise=%d", want.NumClusters, want.NumNoise())
+	}
+	got, _, err := GridDBSCAN(pts, 1, 1, GridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "GridDBSCAN-minpts1", pts, 1, 1, got, want)
+}
+
+// Property: all exact baselines agree with brute force over random
+// parameters and mixtures.
+func TestQuickAllExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		n := 30 + rng.Intn(250)
+		d := 1 + rng.Intn(3)
+		pts := blobs(rng, n, d, 1+rng.Intn(4), 0.2+rng.Float64()*0.5, rng.Float64()*0.4)
+		eps := 0.3 + rng.Float64()*0.7
+		minPts := 2 + rng.Intn(6)
+		want, _ := Brute(pts, eps, minPts)
+		if err := want.Validate(); err != nil {
+			return false
+		}
+		if got, _ := RDBSCAN(pts, eps, minPts); clustering.Equivalent(want, got) != nil {
+			return false
+		}
+		if got, _ := GDBSCAN(pts, eps, minPts); clustering.Equivalent(want, got) != nil {
+			return false
+		}
+		if got, _ := KDBSCAN(pts, eps, minPts); clustering.Equivalent(want, got) != nil {
+			return false
+		}
+		got, _, err := GridDBSCAN(pts, eps, minPts, GridOptions{})
+		if err != nil || clustering.Equivalent(want, got) != nil {
+			return false
+		}
+		return clustering.CheckBorders(pts, eps, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	pts := []geom.Point{{0.1, 0.1}, {0.2, 0.2}, {5, 5}, {-1, -1}}
+	g := BuildGrid(pts, 1.0)
+	if g.NumCells() != 3 {
+		t.Fatalf("NumCells=%d want 3", g.NumCells())
+	}
+	// Key/Unkey round trip, including negatives.
+	for _, p := range pts {
+		c := g.CoordsOf(p)
+		got := g.Unkey(g.Key(c))
+		for i := range c {
+			if got[i] != c[i] {
+				t.Fatalf("Unkey(Key(%v))=%v", c, got)
+			}
+		}
+	}
+	// Neighbor visit covers the occupied neighbors.
+	var visited int
+	g.VisitNeighborCells(g.CoordsOf(geom.Point{0.5, 0.5}), 2, func(_ string, members []int32) {
+		visited += len(members)
+	})
+	if visited != 3 { // the two origin-cell points and {-1,-1}
+		t.Fatalf("visited %d members, want 3", visited)
+	}
+}
+
+func TestChebyshevWithin(t *testing.T) {
+	if !ChebyshevWithin([]int32{0, 0}, []int32{2, -2}, 2) {
+		t.Fatal("within 2")
+	}
+	if ChebyshevWithin([]int32{0, 0}, []int32{3, 0}, 2) {
+		t.Fatal("not within 2")
+	}
+}
+
+func TestNeighborEnumCountSaturates(t *testing.T) {
+	pts := make([]geom.Point, 1)
+	pts[0] = make(geom.Point, 40)
+	g := BuildGrid(pts, 1)
+	if g.NeighborEnumCount(4) < 1<<50 {
+		t.Fatal("40-dim enumeration should saturate huge")
+	}
+}

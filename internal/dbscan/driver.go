@@ -1,0 +1,93 @@
+// Package dbscan implements the sequential baseline algorithms the paper
+// compares μDBSCAN against (§VI-A): brute-force DBSCAN (the ground truth for
+// exactness tests), R-DBSCAN (classic DBSCAN over an R-tree), G-DBSCAN
+// (the groups method of Kumar & Reddy, no spatial index), and GridDBSCAN
+// (the ε-grid method of Kumari et al. with dense-cell query savings).
+//
+// All exact variants share the union-find cluster-formation driver of
+// Patwary et al. (Algorithm 1 of the paper), parameterized by the
+// neighborhood query.
+package dbscan
+
+import (
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/unionfind"
+)
+
+// Stats records the work a clustering run performed; the benchmark harness
+// reports these alongside wall-clock time.
+type Stats struct {
+	// Queries is the number of ε-neighborhood queries executed.
+	Queries int
+	// QueriesSaved is the number of points whose query was skipped because
+	// the algorithm proved them core (or noise) by other means.
+	QueriesSaved int
+	// DistCalcs is the number of point-to-point distance computations.
+	DistCalcs int64
+}
+
+// QuerySavedPct returns the percentage of the n potential queries that were
+// saved.
+func (s Stats) QuerySavedPct() float64 {
+	total := s.Queries + s.QueriesSaved
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.QueriesSaved) / float64(total)
+}
+
+// unionFindDBSCAN is the disjoint-set cluster-formation driver: one
+// ε-neighborhood query per point, with cores claiming unassigned non-core
+// neighbors as borders. query(i) must return the ids of all points strictly
+// within eps of point i, including i itself. core may arrive with some
+// entries pre-marked (points proven core without a query); skip marks points
+// whose query is skipped entirely (nil for none) — the caller is responsible
+// for the unions among pairs of skipped points, while unions between a
+// skipped core and any queried point are handled here.
+func unionFindDBSCAN(n, minPts int, uf *unionfind.UF, core []bool, skip []bool, query func(i int) []int) Stats {
+	var st Stats
+	assigned := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if skip != nil && skip[i] {
+			st.QueriesSaved++
+			continue
+		}
+		nbhd := query(i)
+		st.Queries++
+		if len(nbhd) >= minPts {
+			core[i] = true
+			for _, q := range nbhd {
+				if q == i {
+					continue
+				}
+				if core[q] {
+					uf.Union(i, q)
+				} else if !assigned[q] {
+					uf.Union(i, q)
+					assigned[q] = true
+				}
+			}
+		} else if !assigned[i] {
+			// Self-attach to the first core neighbor, but never re-attach a
+			// border already claimed by a cluster: that would bridge two
+			// clusters through a non-core point.
+			for _, q := range nbhd {
+				if core[q] {
+					uf.Union(i, q)
+					assigned[i] = true
+					break
+				}
+			}
+		}
+	}
+	return st
+}
+
+// finish converts the union-find state into a dense clustering result.
+func finish(uf *unionfind.UF, core []bool) *clustering.Result {
+	comp := make([]int, uf.Len())
+	for i := range comp {
+		comp[i] = uf.Find(i)
+	}
+	return clustering.FromUnionLabels(comp, core)
+}

@@ -1,0 +1,134 @@
+package dbscan
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mudbscan/internal/geom"
+)
+
+// Grid is a uniform hyper-grid over a point set: each point is hashed to the
+// cell of side-length Side containing it. It underlies the GridDBSCAN
+// baseline here and the HPDBSCAN-style distributed baseline.
+type Grid struct {
+	Side float64
+	Dim  int
+	// Cells maps a packed cell coordinate key to the ids of points inside.
+	Cells map[string][]int32
+	// Keys holds the cell keys in first-touch order for deterministic
+	// iteration.
+	Keys []string
+	pts  []geom.Point
+}
+
+// BuildGrid hashes pts into cells of the given side length.
+func BuildGrid(pts []geom.Point, side float64) *Grid {
+	if side <= 0 {
+		panic("dbscan: grid side must be positive")
+	}
+	if len(pts) == 0 {
+		panic("dbscan: grid over empty dataset")
+	}
+	g := &Grid{
+		Side:  side,
+		Dim:   len(pts[0]),
+		Cells: make(map[string][]int32),
+		pts:   pts,
+	}
+	for i, p := range pts {
+		k := g.Key(g.CoordsOf(p))
+		if _, ok := g.Cells[k]; !ok {
+			g.Keys = append(g.Keys, k)
+		}
+		g.Cells[k] = append(g.Cells[k], int32(i))
+	}
+	return g
+}
+
+// CoordsOf returns the integer cell coordinates of p.
+func (g *Grid) CoordsOf(p geom.Point) []int32 {
+	c := make([]int32, g.Dim)
+	for i, v := range p {
+		c[i] = int32(math.Floor(v / g.Side))
+	}
+	return c
+}
+
+// Key packs cell coordinates into a map key.
+func (g *Grid) Key(coords []int32) string {
+	b := make([]byte, 4*len(coords))
+	for i, c := range coords {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(c))
+	}
+	return string(b)
+}
+
+// Unkey unpacks a map key back into cell coordinates.
+func (g *Grid) Unkey(key string) []int32 {
+	coords := make([]int32, g.Dim)
+	for i := range coords {
+		coords[i] = int32(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return coords
+}
+
+// NumCells returns the number of non-empty cells.
+func (g *Grid) NumCells() int { return len(g.Cells) }
+
+// NeighborEnumCount returns the number of cell lookups a Chebyshev-radius
+// query would enumerate: (2r+1)^dim, saturating at math.MaxInt.
+func (g *Grid) NeighborEnumCount(radius int) int {
+	count := 1
+	width := 2*radius + 1
+	for i := 0; i < g.Dim; i++ {
+		if count > math.MaxInt/width {
+			return math.MaxInt
+		}
+		count *= width
+	}
+	return count
+}
+
+// VisitNeighborCells invokes fn for every non-empty cell within Chebyshev
+// distance radius of the given cell coordinates (including the cell itself),
+// by enumerating the (2r+1)^d offsets. Only call when NeighborEnumCount is
+// affordable.
+func (g *Grid) VisitNeighborCells(coords []int32, radius int, fn func(key string, members []int32)) {
+	cur := make([]int32, g.Dim)
+	for i := range cur {
+		cur[i] = coords[i] - int32(radius)
+	}
+	for {
+		k := g.Key(cur)
+		if members, ok := g.Cells[k]; ok {
+			fn(k, members)
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < g.Dim; i++ {
+			cur[i]++
+			if cur[i] <= coords[i]+int32(radius) {
+				break
+			}
+			cur[i] = coords[i] - int32(radius)
+		}
+		if i == g.Dim {
+			return
+		}
+	}
+}
+
+// ChebyshevWithin reports whether two unpacked cell coordinates are within
+// the given Chebyshev distance.
+func ChebyshevWithin(a, b []int32, radius int32) bool {
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > radius {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,33 @@
+package dbscan
+
+import (
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/kdtree"
+	"mudbscan/internal/unionfind"
+)
+
+// KDBSCAN runs classic DBSCAN with a k-d tree accelerating the
+// ε-neighborhood queries. It is not a baseline from the paper's evaluation;
+// it completes the indexing ablation (brute force vs R-tree vs k-d tree vs
+// two-level μR-tree) so the benchmarks can attribute μDBSCAN's advantage to
+// the micro-cluster machinery rather than the index family.
+func KDBSCAN(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Stats) {
+	n := len(pts)
+	if n == 0 {
+		return &clustering.Result{}, Stats{}
+	}
+	tree := kdtree.Build(len(pts[0]), pts, nil)
+	uf := unionfind.New(n)
+	core := make([]bool, n)
+	var dist int64
+	st := unionFindDBSCAN(n, minPts, uf, core, nil, func(i int) []int {
+		var nbhd []int
+		dist += int64(tree.Sphere(pts[i], eps, true, func(id int, _ geom.Point) {
+			nbhd = append(nbhd, id)
+		}))
+		return nbhd
+	})
+	st.DistCalcs = dist
+	return finish(uf, core), st
+}

@@ -1,0 +1,31 @@
+package dbscan
+
+import (
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/rtree"
+	"mudbscan/internal/unionfind"
+)
+
+// RDBSCAN runs classic DBSCAN with an R-tree index accelerating the
+// ε-neighborhood queries — the paper's "R-DBSCAN" baseline (Table II). One
+// query is executed per point; only the per-query search space is reduced.
+func RDBSCAN(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Stats) {
+	n := len(pts)
+	if n == 0 {
+		return &clustering.Result{}, Stats{}
+	}
+	tree := rtree.BulkLoad(len(pts[0]), 0, pts, nil)
+	uf := unionfind.New(n)
+	core := make([]bool, n)
+	var dist int64
+	st := unionFindDBSCAN(n, minPts, uf, core, nil, func(i int) []int {
+		var nbhd []int
+		dist += int64(tree.Sphere(pts[i], eps, true, func(id int, _ geom.Point) {
+			nbhd = append(nbhd, id)
+		}))
+		return nbhd
+	})
+	st.DistCalcs = dist
+	return finish(uf, core), st
+}

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/dbscan"
+	"mudbscan/internal/geom"
+)
+
+// ErrDistGridMemory is returned when a grid-based distributed baseline
+// cannot afford its exponential-in-dimension neighbor-cell enumeration —
+// reproducing the "-" (could not run) entries of Table V for GridDBSCAN-D
+// and HPDBSCAN on high-dimensional datasets.
+var ErrDistGridMemory = errors.New("dist: grid neighbor enumeration exceeds budget (dimensionality too high)")
+
+// distGridEnumBudget bounds the per-query (2r+1)^d cell enumeration for the
+// grid-based distributed baselines.
+const distGridEnumBudget = 200_000
+
+// GridDBSCAND implements the distributed GridDBSCAN of Kumari et al.
+// (ICDCN'17): the shared partition/halo/merge skeleton with a rank-local
+// ε/√d grid. Dense cells (≥ MinPts members) make all their points core
+// without queries and are merged by targeted core-pair checks; all other
+// points are queried against their Chebyshev-⌈√d⌉ cell neighborhoods.
+func GridDBSCAND(pts []geom.Point, eps float64, minPts, p int, opts Options) (*clustering.Result, *Stats, error) {
+	if len(pts) == 0 {
+		return &clustering.Result{}, &Stats{Ranks: p}, nil
+	}
+	d := len(pts[0])
+	side := eps / math.Sqrt(float64(d)) * (1 - 1e-12)
+	radius := int(math.Ceil(eps / side))
+	if enumCount(radius, d) > distGridEnumBudget {
+		return nil, nil, ErrDistGridMemory
+	}
+	return runDistributed(pts, eps, minPts, p, opts, gridLocal(side, radius, true))
+}
+
+// HPDBSCAN implements the highly-parallel grid DBSCAN of Götz et al.
+// (MLHPC'15) as the paper characterizes it: cells of side ε reduce the
+// search space of every query (3^d neighborhoods) but the number of queries
+// is *not* reduced — every local point is queried.
+func HPDBSCAN(pts []geom.Point, eps float64, minPts, p int, opts Options) (*clustering.Result, *Stats, error) {
+	if len(pts) == 0 {
+		return &clustering.Result{}, &Stats{Ranks: p}, nil
+	}
+	d := len(pts[0])
+	if enumCount(1, d) > distGridEnumBudget {
+		return nil, nil, ErrDistGridMemory
+	}
+	return runDistributed(pts, eps, minPts, p, opts, gridLocal(eps, 1, false))
+}
+
+func enumCount(radius, dim int) int {
+	count := 1
+	width := 2*radius + 1
+	for i := 0; i < dim; i++ {
+		if count > math.MaxInt/width {
+			return math.MaxInt
+		}
+		count *= width
+	}
+	return count
+}
+
+// gridLocal builds the rank-local clustering function for a grid of the
+// given side and Chebyshev query radius. With denseCells true, cells holding
+// at least MinPts combined points are pre-marked core (GridDBSCAN);
+// otherwise every local point is queried (HPDBSCAN).
+func gridLocal(side float64, radius int, denseCells bool) localFn {
+	return func(combined []geom.Point, eps float64, minPts, localCount int) *core.LocalResult {
+		st := &core.Stats{}
+		start := time.Now()
+		grid := dbscan.BuildGrid(combined, side)
+		coordsOf := make(map[string][]int32, grid.NumCells())
+		for _, k := range grid.Keys {
+			coordsOf[k] = grid.Unkey(k)
+		}
+		keyOf := make([]string, len(combined))
+		for _, k := range grid.Keys {
+			for _, id := range grid.Cells[k] {
+				keyOf[id] = k
+			}
+		}
+
+		var preCore []bool
+		var preUnions [][2]int32
+		if denseCells {
+			preCore = make([]bool, len(combined))
+			for _, k := range grid.Keys {
+				members := grid.Cells[k]
+				if len(members) < minPts {
+					continue
+				}
+				// Cell diameter < ε, so all members are mutually within ε:
+				// every member is core regardless of unseen remote points.
+				for _, id := range members {
+					preCore[id] = true
+					if id != members[0] {
+						preUnions = append(preUnions, [2]int32{members[0], id})
+					}
+				}
+			}
+		}
+		st.Steps.TreeConstruction = time.Since(start)
+
+		query := func(i int, fn func(id int32, pt geom.Point)) int {
+			p := combined[i]
+			calcs := 0
+			grid.VisitNeighborCells(coordsOf[keyOf[i]], radius, func(_ string, members []int32) {
+				for _, q := range members {
+					calcs++
+					if geom.Within(p, combined[q], eps) {
+						fn(q, combined[q])
+					}
+				}
+			})
+			return calcs
+		}
+		var post func(i int32, fn func(id int32))
+		if denseCells {
+			post = func(i int32, fn func(id int32)) {
+				grid.VisitNeighborCells(coordsOf[keyOf[i]], radius, func(_ string, members []int32) {
+					for _, q := range members {
+						fn(q)
+					}
+				})
+			}
+		}
+		return localDriver(combined, eps, minPts, localCount, preCore, preUnions, query, post, st)
+	}
+}

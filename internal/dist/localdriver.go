@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"sort"
+	"time"
+
+	"mudbscan/internal/core"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/unionfind"
+)
+
+// localDriver executes classic union-find DBSCAN over a combined local+halo
+// point set under the distributed union rules shared with μDBSCAN's local
+// run: unions onto non-core halo points are deferred as Pairs; local points
+// without a core neighbor become provisional noise with their neighborhoods
+// stored for merge-phase rectification.
+//
+// preCore marks points proven core without a query (their queries are
+// skipped); preUnions are unions the caller already justified (e.g. dense
+// grid cells). query(i) must invoke its callback for every point strictly
+// within eps of point i, including i itself. postCandidates enumerates the
+// merge-check candidates of a skipped core (nil when there are no skips).
+func localDriver(
+	pts []geom.Point, eps float64, minPts, localCount int,
+	preCore []bool, preUnions [][2]int32,
+	query func(i int, fn func(id int32, pt geom.Point)) int,
+	postCandidates func(i int32, fn func(id int32)),
+	st *core.Stats,
+) *core.LocalResult {
+	n := len(pts)
+	uf := unionfind.New(n)
+	coreFlag := make([]bool, n)
+	if preCore != nil {
+		copy(coreFlag, preCore)
+	}
+	assigned := make([]bool, n)
+	var pairs []core.Pair
+	noise := make(map[int32][]int32)
+	isHalo := func(i int32) bool { return int(i) >= localCount }
+
+	link := func(c, q int32) {
+		if coreFlag[q] {
+			uf.Union(int(c), int(q))
+			return
+		}
+		if isHalo(q) {
+			if !isHalo(c) {
+				pairs = append(pairs, core.Pair{A: c, B: q})
+			}
+			return
+		}
+		if !assigned[q] {
+			uf.Union(int(c), int(q))
+			assigned[q] = true
+		}
+	}
+
+	for _, u := range preUnions {
+		uf.Union(int(u[0]), int(u[1]))
+	}
+
+	start := time.Now()
+	var skipped []int32
+	var nbhd []int32
+	for i := 0; i < localCount; i++ {
+		if preCore != nil && preCore[i] {
+			skipped = append(skipped, int32(i))
+			st.QueriesSaved++
+			continue
+		}
+		nbhd = nbhd[:0]
+		st.DistCalcs += int64(query(i, func(id int32, _ geom.Point) {
+			nbhd = append(nbhd, id)
+		}))
+		st.Queries++
+		if len(nbhd) >= minPts {
+			coreFlag[i] = true
+			for _, q := range nbhd {
+				if int(q) == i {
+					continue
+				}
+				link(int32(i), q)
+			}
+			continue
+		}
+		// Already-claimed borders must not re-attach themselves: that could
+		// bridge two clusters through a non-core point.
+		if assigned[i] {
+			continue
+		}
+		joined := false
+		for _, q := range nbhd {
+			if coreFlag[q] {
+				uf.Union(int(q), i)
+				assigned[i] = true
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			noise[int32(i)] = append([]int32(nil), nbhd...)
+		}
+	}
+	st.Steps.Clustering += time.Since(start)
+
+	// Post pass: skipped cores establish their cross-links by targeted
+	// distance checks (the grid analogue of μDBSCAN's Algorithm 7), and
+	// provisional noise is rectified against cores discovered later.
+	start = time.Now()
+	if postCandidates != nil {
+		for _, i := range skipped {
+			p := pts[i]
+			postCandidates(i, func(q int32) {
+				if q == i {
+					return
+				}
+				if coreFlag[q] {
+					if uf.Same(int(i), int(q)) {
+						return
+					}
+					st.DistCalcs++
+					if geom.Within(p, pts[q], eps) {
+						uf.Union(int(i), int(q))
+					}
+					return
+				}
+				if isHalo(q) {
+					st.DistCalcs++
+					if geom.Within(p, pts[q], eps) {
+						pairs = append(pairs, core.Pair{A: i, B: q})
+					}
+				}
+			})
+		}
+	}
+	noiseIDs := make([]int32, 0, len(noise))
+	for id := range noise {
+		noiseIDs = append(noiseIDs, id)
+	}
+	sort.Slice(noiseIDs, func(a, b int) bool { return noiseIDs[a] < noiseIDs[b] })
+	for _, id := range noiseIDs {
+		nb := noise[id]
+		if assigned[id] || coreFlag[id] {
+			continue
+		}
+		for _, q := range nb {
+			if coreFlag[q] {
+				uf.Union(int(q), int(id))
+				assigned[id] = true
+				break
+			}
+		}
+	}
+	st.Steps.PostProcessing += time.Since(start)
+
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = int32(uf.Find(i))
+	}
+	return &core.LocalResult{
+		LocalCount: localCount,
+		Core:       coreFlag,
+		Comp:       comp,
+		Assigned:   assigned,
+		Pairs:      pairs,
+		NoiseNbhd:  noise,
+		Stats:      st,
+	}
+}

@@ -1,0 +1,30 @@
+package dist
+
+import (
+	"time"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/rtree"
+)
+
+// PDSDBSCAND implements the disjoint-set parallel DBSCAN of Patwary et al.
+// (SC'12) — the paper's PDSDBSCAN-D baseline. It shares μDBSCAN-D's
+// partitioning, halo and merge machinery but the local phase is classic
+// DBSCAN over a single R-tree: one ε-neighborhood query for *every* local
+// point, with no query savings and no two-level index.
+func PDSDBSCAND(pts []geom.Point, eps float64, minPts, p int, opts Options) (*clustering.Result, *Stats, error) {
+	return runDistributed(pts, eps, minPts, p, opts, func(combined []geom.Point, e float64, mp, localCount int) *core.LocalResult {
+		st := &core.Stats{}
+		start := time.Now()
+		tree := rtree.BulkLoad(len(combined[0]), 0, combined, nil)
+		st.Steps.TreeConstruction = time.Since(start)
+		query := func(i int, fn func(id int32, pt geom.Point)) int {
+			return tree.Sphere(combined[i], e, true, func(id int, pt geom.Point) {
+				fn(int32(id), pt)
+			})
+		}
+		return localDriver(combined, e, mp, localCount, nil, nil, query, nil, st)
+	})
+}

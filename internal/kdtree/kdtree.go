@@ -1,0 +1,190 @@
+// Package kdtree provides a median-split k-d tree over points plus the
+// axis-selection and median-selection helpers that the spatial partitioning
+// phase of μDBSCAN-D (§V-A of the paper) is built on. The tree itself also
+// serves as an alternative point index for the indexing ablation benchmarks.
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+
+	"mudbscan/internal/geom"
+)
+
+// Tree is a static, median-split k-d tree built once over a point set.
+type Tree struct {
+	dim  int
+	pts  []geom.Point
+	ids  []int
+	root *node
+}
+
+type node struct {
+	axis        int
+	split       float64
+	left, right *node
+	// leaf payload: index range [lo, hi) into the tree's reordered arrays.
+	lo, hi int
+	leaf   bool
+	mbr    geom.MBR
+}
+
+const leafSize = 16
+
+// Build constructs a k-d tree over pts. ids[i] identifies pts[i]; nil means
+// the point index. The input slices are copied, so callers may reuse them.
+func Build(dim int, pts []geom.Point, ids []int) *Tree {
+	if ids == nil {
+		ids = make([]int, len(pts))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	if len(ids) != len(pts) {
+		panic("kdtree: ids/pts length mismatch")
+	}
+	t := &Tree{
+		dim: dim,
+		pts: append([]geom.Point(nil), pts...),
+		ids: append([]int(nil), ids...),
+	}
+	if len(pts) > 0 {
+		t.root = t.build(0, len(pts))
+	}
+	return t
+}
+
+func (t *Tree) build(lo, hi int) *node {
+	n := &node{lo: lo, hi: hi, mbr: geom.MBRFromPoints(t.pts[lo:hi])}
+	if hi-lo <= leafSize {
+		n.leaf = true
+		return n
+	}
+	axis := WidestAxisMBR(n.mbr)
+	mid := (lo + hi) / 2
+	t.selectNth(lo, hi, mid, axis)
+	n.axis = axis
+	n.split = t.pts[mid][axis]
+	n.left = t.build(lo, mid)
+	n.right = t.build(mid, hi)
+	return n
+}
+
+// selectNth partially orders t.pts[lo:hi] so that the element at position n
+// is the one that would be there under a full sort by the given axis
+// (quickselect / Hoare's nth_element).
+func (t *Tree) selectNth(lo, hi, n, axis int) {
+	for hi-lo > 1 {
+		pivot := t.pts[lo+(hi-lo)/2][axis]
+		i, j := lo, hi-1
+		for i <= j {
+			for t.pts[i][axis] < pivot {
+				i++
+			}
+			for t.pts[j][axis] > pivot {
+				j--
+			}
+			if i <= j {
+				t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+				t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case n <= j:
+			hi = j + 1
+		case n >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Sphere visits every point with dist(p, center) < r (strict) or <= r, and
+// returns the number of distance computations performed.
+func (t *Tree) Sphere(center geom.Point, r float64, strict bool, fn func(id int, pt geom.Point)) (distCalcs int) {
+	if t.root == nil {
+		return 0
+	}
+	r2 := r * r
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.mbr.MinDistSq(center) > r2 {
+			return
+		}
+		if n.leaf {
+			for i := n.lo; i < n.hi; i++ {
+				distCalcs++
+				d2 := geom.DistSq(center, t.pts[i])
+				if d2 < r2 || (!strict && d2 == r2) {
+					if fn != nil {
+						fn(t.ids[i], t.pts[i])
+					}
+				}
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return distCalcs
+}
+
+// WidestAxis returns the axis along which pts have the largest spread.
+func WidestAxis(pts []geom.Point) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	return WidestAxisMBR(geom.MBRFromPoints(pts))
+}
+
+// WidestAxisMBR returns the axis with the largest extent of m.
+func WidestAxisMBR(m geom.MBR) int {
+	axis, best := 0, -1.0
+	for i := 0; i < m.Dim(); i++ {
+		if w := m.Max[i] - m.Min[i]; w > best {
+			best, axis = w, i
+		}
+	}
+	return axis
+}
+
+// MedianOfSample estimates the median coordinate of pts along axis from a
+// random sample of at most sampleSize points (the sampling-based-median of
+// BD-CATS that §V-A adopts for very large data). With sampleSize >= len(pts)
+// the exact median is returned. The estimate is the lower median.
+func MedianOfSample(pts []geom.Point, axis, sampleSize int, rng *rand.Rand) float64 {
+	if len(pts) == 0 {
+		panic("kdtree: MedianOfSample on empty slice")
+	}
+	var vals []float64
+	if sampleSize >= len(pts) {
+		vals = make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p[axis]
+		}
+	} else {
+		vals = make([]float64, sampleSize)
+		for i := range vals {
+			vals[i] = pts[rng.Intn(len(pts))][axis]
+		}
+	}
+	sort.Float64s(vals)
+	return vals[(len(vals)-1)/2]
+}
+
+// MedianOfValues returns the lower median of vals (used when medians of
+// gathered samples are computed collectively). vals is sorted in place.
+func MedianOfValues(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic("kdtree: MedianOfValues on empty slice")
+	}
+	sort.Float64s(vals)
+	return vals[(len(vals)-1)/2]
+}

@@ -1,0 +1,81 @@
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+
+	"mudbscan/internal/geom"
+)
+
+// KNN returns the ids and distances of the k nearest stored points to
+// center, nearest first. The query point itself is included if it is in the
+// tree. Fewer than k results are returned when the tree is smaller.
+func (t *Tree) KNN(center geom.Point, k int) (ids []int, dists []float64) {
+	if t.root == nil || k <= 0 {
+		return nil, nil
+	}
+	h := &maxHeap{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		bound := math.Inf(1)
+		if h.Len() == k {
+			bound = (*h)[0].dist
+		}
+		if n.mbr.MinDistSq(center) > bound {
+			return
+		}
+		if n.leaf {
+			for i := n.lo; i < n.hi; i++ {
+				d := geom.DistSq(center, t.pts[i])
+				if h.Len() < k {
+					heap.Push(h, knnEntry{id: t.ids[i], dist: d})
+				} else if d < (*h)[0].dist {
+					(*h)[0] = knnEntry{id: t.ids[i], dist: d}
+					heap.Fix(h, 0)
+				}
+			}
+			return
+		}
+		// Descend into the nearer child first for tighter bounds sooner.
+		if center[n.axis] < n.split {
+			walk(n.left)
+			walk(n.right)
+		} else {
+			walk(n.right)
+			walk(n.left)
+		}
+	}
+	walk(t.root)
+
+	out := make([]knnEntry, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(knnEntry)
+	}
+	ids = make([]int, len(out))
+	dists = make([]float64, len(out))
+	for i, e := range out {
+		ids[i] = e.id
+		dists[i] = math.Sqrt(e.dist)
+	}
+	return ids, dists
+}
+
+type knnEntry struct {
+	id   int
+	dist float64 // squared
+}
+
+// maxHeap keeps the current k nearest with the farthest on top.
+type maxHeap []knnEntry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,72 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mudbscan/internal/geom"
+)
+
+func bruteKNN(pts []geom.Point, c geom.Point, k int) []float64 {
+	ds := make([]float64, len(pts))
+	for i, p := range pts {
+		ds[i] = geom.Dist(c, p)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 6} {
+		rng := rand.New(rand.NewSource(int64(d) * 31))
+		pts := randPoints(rng, 400, d)
+		tr := Build(d, pts, nil)
+		for trial := 0; trial < 40; trial++ {
+			c := pts[rng.Intn(len(pts))]
+			k := 1 + rng.Intn(20)
+			want := bruteKNN(pts, c, k)
+			ids, dists := tr.KNN(c, k)
+			if len(ids) != k || len(dists) != k {
+				t.Fatalf("d=%d got %d results want %d", d, len(ids), k)
+			}
+			for i := range dists {
+				if math.Abs(dists[i]-want[i]) > 1e-9 {
+					t.Fatalf("d=%d k=%d rank %d: got %g want %g", d, k, i, dists[i], want[i])
+				}
+				if i > 0 && dists[i] < dists[i-1] {
+					t.Fatal("KNN results must be sorted nearest first")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := Build(2, nil, nil)
+	if ids, _ := tr.KNN(geom.Point{0, 0}, 3); ids != nil {
+		t.Fatal("empty tree should return nil")
+	}
+	pts := []geom.Point{{0, 0}, {1, 1}}
+	tr = Build(2, pts, nil)
+	ids, dists := tr.KNN(geom.Point{0, 0}, 10)
+	if len(ids) != 2 || dists[0] != 0 {
+		t.Fatalf("k>n: ids=%v dists=%v", ids, dists)
+	}
+	if ids2, _ := tr.KNN(geom.Point{0, 0}, 0); ids2 != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestKNNIncludesSelf(t *testing.T) {
+	pts := []geom.Point{{5, 5}, {6, 6}, {100, 100}}
+	tr := Build(2, pts, nil)
+	ids, dists := tr.KNN(geom.Point{5, 5}, 1)
+	if ids[0] != 0 || dists[0] != 0 {
+		t.Fatalf("nearest to a stored point is itself: %v %v", ids, dists)
+	}
+}

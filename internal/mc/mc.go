@@ -1,0 +1,286 @@
+// Package mc implements the micro-cluster machinery at the heart of μDBSCAN
+// (§IV-A/B of the paper): micro-cluster construction with the 2ε deferral
+// rule, the two-level μR-tree, DMC/CMC/SMC classification, reachable
+// micro-cluster lists, and the reduced-search-space ε-neighborhood query.
+//
+// A micro-cluster (MC) is a hyper-sphere of radius ε centered at one of the
+// data points; every data point belongs to exactly one MC, and membership
+// requires dist(point, center) < ε — the same strict inequality as the
+// DBSCAN ε-neighborhood, so that MC(p) ⊆ N_ε(center).
+package mc
+
+import (
+	"fmt"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/rtree"
+)
+
+// Kind classifies a micro-cluster (§IV-B1, Fig. 2).
+type Kind uint8
+
+const (
+	// SMC is a sparse micro-cluster: fewer than MinPts members.
+	SMC Kind = iota
+	// CMC is a core micro-cluster: at least MinPts members, so its center is
+	// a core point (Lemma 2).
+	CMC
+	// DMC is a dense micro-cluster: at least MinPts members in its
+	// inner circle (radius ε/2), so every inner-circle point and the center
+	// are core points (Lemma 1).
+	DMC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SMC:
+		return "SMC"
+	case CMC:
+		return "CMC"
+	case DMC:
+		return "DMC"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MicroCluster holds one micro-cluster. Members are indices into the dataset
+// that the Index was built over; Members[0] is always the center point.
+type MicroCluster struct {
+	ID       int
+	CenterID int
+	Center   geom.Point
+	Members  []int32
+	// InnerIDs are the member ids strictly within ε/2 of the center,
+	// excluding the center itself (the paper's Inner Circle).
+	InnerIDs []int32
+	Kind     Kind
+	// Aux is the auxiliary R-tree over member points (second μR-tree level).
+	Aux *rtree.Tree
+	// Reach lists the ids of reachable micro-clusters: centers within 3ε
+	// (closed, Lemma 3). It always contains the MC itself.
+	Reach []int32
+}
+
+// Size returns the number of member points, including the center.
+func (m *MicroCluster) Size() int { return len(m.Members) }
+
+// Options tunes micro-cluster construction; the zero value means defaults.
+type Options struct {
+	// Fanout is the R-tree node capacity used for both μR-tree levels.
+	Fanout int
+	// NoDeferral disables the 2ε unassigned-list optimization (ablation):
+	// every point that cannot join an existing MC immediately becomes a new
+	// MC center, which increases the MC count m.
+	NoDeferral bool
+	// SkipReachable leaves the reachable lists empty; callers that want to
+	// time that phase separately (μDBSCAN's step 2) invoke ComputeReachable
+	// themselves.
+	SkipReachable bool
+}
+
+// Index is the two-level μR-tree plus the micro-cluster list: the first
+// level indexes MC centers, and each MC carries an auxiliary R-tree over its
+// member points.
+type Index struct {
+	Eps    float64
+	MinPts int
+	Dim    int
+	MCs    []*MicroCluster
+	// PointMC maps a dataset index to the id of its micro-cluster.
+	PointMC []int32
+	centers *rtree.Tree
+	opts    Options
+}
+
+// Build scans pts and constructs micro-clusters per Algorithm 3: a point
+// joins the nearest existing MC whose center is strictly within ε; otherwise,
+// if some center lies within 2ε, the point is deferred to an unassigned list
+// (to limit the number of MCs); otherwise it seeds a new MC. Deferred points
+// are then inserted (joining an MC within ε or seeding one). Finally the
+// auxiliary R-trees, inner circles, kinds and reachable lists are computed.
+func Build(pts []geom.Point, eps float64, minPts int, opts Options) *Index {
+	if eps <= 0 {
+		panic("mc: eps must be positive")
+	}
+	if minPts < 1 {
+		panic("mc: minPts must be at least 1")
+	}
+	if len(pts) == 0 {
+		panic("mc: empty dataset")
+	}
+	dim := len(pts[0])
+	if opts.Fanout <= 0 {
+		opts.Fanout = rtree.DefaultMaxEntries
+	}
+	ix := &Index{
+		Eps:     eps,
+		MinPts:  minPts,
+		Dim:     dim,
+		PointMC: make([]int32, len(pts)),
+		centers: rtree.New(dim, opts.Fanout),
+		opts:    opts,
+	}
+	for i := range ix.PointMC {
+		ix.PointMC[i] = -1
+	}
+
+	var unassigned []int32
+	for i, p := range pts {
+		// The tight ε-radius nearest-center search succeeds for most points
+		// on dense data; only the misses pay for the wider 2ε existence
+		// probe that drives the deferral rule.
+		if mcID, _, ok := ix.centers.Nearest(p, eps, true); ok {
+			ix.addMember(mcID, i)
+			continue
+		}
+		if !opts.NoDeferral && ix.centers.Any(p, 2*eps, true) {
+			unassigned = append(unassigned, int32(i))
+			continue
+		}
+		ix.newMC(i, p)
+	}
+	for _, i := range unassigned {
+		p := pts[i]
+		mcID, _, ok := ix.centers.Nearest(p, eps, true)
+		if ok {
+			ix.addMember(mcID, int(i))
+		} else {
+			ix.newMC(int(i), p)
+		}
+	}
+
+	ix.finalize(pts)
+	return ix
+}
+
+func (ix *Index) newMC(centerID int, center geom.Point) {
+	m := &MicroCluster{
+		ID:       len(ix.MCs),
+		CenterID: centerID,
+		Center:   center,
+		Members:  []int32{int32(centerID)},
+	}
+	ix.MCs = append(ix.MCs, m)
+	ix.centers.Insert(m.ID, center)
+	ix.PointMC[centerID] = int32(m.ID)
+}
+
+func (ix *Index) addMember(mcID, pointID int) {
+	ix.MCs[mcID].Members = append(ix.MCs[mcID].Members, int32(pointID))
+	ix.PointMC[pointID] = int32(mcID)
+}
+
+// finalize builds the aux trees, inner circles, kinds and reachable lists.
+func (ix *Index) finalize(pts []geom.Point) {
+	half := ix.Eps / 2
+	for _, m := range ix.MCs {
+		mpts := make([]geom.Point, len(m.Members))
+		ids := make([]int, len(m.Members))
+		for i, id := range m.Members {
+			mpts[i] = pts[id]
+			ids[i] = int(id)
+		}
+		m.Aux = rtree.BulkLoad(ix.Dim, ix.opts.Fanout, mpts, ids)
+		for _, id := range m.Members {
+			if int(id) != m.CenterID && geom.Within(pts[id], m.Center, half) {
+				m.InnerIDs = append(m.InnerIDs, id)
+			}
+		}
+		switch {
+		case len(m.InnerIDs) >= ix.MinPts:
+			m.Kind = DMC
+		case len(m.Members) >= ix.MinPts:
+			m.Kind = CMC
+		default:
+			m.Kind = SMC
+		}
+	}
+	if !ix.opts.SkipReachable {
+		ix.ComputeReachable()
+	}
+}
+
+// ComputeReachable fills every micro-cluster's reachable list: the MCs whose
+// centers lie within 3ε (closed), found through the first-level μR-tree
+// (Algorithm 5). Idempotent.
+func (ix *Index) ComputeReachable() {
+	reach := 3 * ix.Eps
+	for _, m := range ix.MCs {
+		m.Reach = m.Reach[:0]
+		ix.centers.Sphere(m.Center, reach, false, func(id int, _ geom.Point) {
+			m.Reach = append(m.Reach, int32(id))
+		})
+	}
+}
+
+// NumMCs returns m, the number of micro-clusters.
+func (ix *Index) NumMCs() int { return len(ix.MCs) }
+
+// MCOf returns the micro-cluster containing dataset point id.
+func (ix *Index) MCOf(pointID int) *MicroCluster { return ix.MCs[ix.PointMC[pointID]] }
+
+// EpsNeighborhood computes the exact ε-neighborhood of pts[pointID] by
+// searching only the auxiliary R-trees of the reachable micro-clusters of
+// the point's own MC whose root MBR overlaps the ε-extended region of the
+// point (§IV-B2). fn is invoked for every neighbor, including the query
+// point itself (dist 0 < ε). It returns the number of point-distance
+// computations and the number of auxiliary trees actually searched.
+func (ix *Index) EpsNeighborhood(p geom.Point, pointID int, fn func(id int, pt geom.Point)) (distCalcs, treesSearched int) {
+	region := geom.Region(p, ix.Eps)
+	// Every member of MC Z lies strictly within ε of Z's center, so a
+	// member can only be within ε of p when dist(p, center) < 2ε — a much
+	// tighter filter than the 3ε reachability list.
+	prune2 := 4 * ix.Eps * ix.Eps
+	for _, rid := range ix.MCs[ix.PointMC[pointID]].Reach {
+		z := ix.MCs[rid]
+		if geom.DistSq(p, z.Center) >= prune2 {
+			continue
+		}
+		if !z.Aux.RootMBR().Overlaps(region) {
+			continue
+		}
+		treesSearched++
+		distCalcs += z.Aux.Sphere(p, ix.Eps, true, fn)
+	}
+	return distCalcs, treesSearched
+}
+
+// VisitReachableMembers invokes fn for every member point of every filtered
+// reachable micro-cluster of pts[pointID]'s MC (those overlapping the
+// ε-extended region of p). Used by the post-processing-core step (Algo 7),
+// which wants candidate points for targeted distance checks rather than a
+// full neighborhood query. Returns the number of candidate points visited.
+func (ix *Index) VisitReachableMembers(p geom.Point, pointID int, fn func(id int32)) (visited int) {
+	region := geom.Region(p, ix.Eps)
+	prune2 := 4 * ix.Eps * ix.Eps
+	for _, rid := range ix.MCs[ix.PointMC[pointID]].Reach {
+		z := ix.MCs[rid]
+		// As in EpsNeighborhood: members live strictly within ε of their
+		// center, so MCs centered 2ε or farther away cannot contribute.
+		if geom.DistSq(p, z.Center) >= prune2 {
+			continue
+		}
+		if !z.Aux.RootMBR().Overlaps(region) {
+			continue
+		}
+		for _, id := range z.Members {
+			visited++
+			fn(id)
+		}
+	}
+	return visited
+}
+
+// WholeSpaceNeighborhood is the ablation variant of EpsNeighborhood that
+// ignores reachable lists and queries every micro-cluster's auxiliary tree
+// (still pruned by MBR overlap). Used by BenchmarkAblationReachable.
+func (ix *Index) WholeSpaceNeighborhood(p geom.Point, fn func(id int, pt geom.Point)) (distCalcs int) {
+	region := geom.Region(p, ix.Eps)
+	for _, z := range ix.MCs {
+		if !z.Aux.RootMBR().Overlaps(region) {
+			continue
+		}
+		distCalcs += z.Aux.Sphere(p, ix.Eps, true, fn)
+	}
+	return distCalcs
+}

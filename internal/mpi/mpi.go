@@ -1,0 +1,318 @@
+// Package mpi provides a small message-passing runtime modeled on the MPI
+// subset the paper's distributed algorithms need: point-to-point send/recv,
+// barrier, broadcast, allgather, all-to-all and reductions.
+//
+// The paper runs μDBSCAN-D with MPI across a 32-node commodity cluster. This
+// repository substitutes goroutines for processes and channels for the
+// interconnect: each rank is a goroutine, every byte that would cross the
+// network is counted, and all collective semantics (SPMD order, completion
+// guarantees) match their MPI counterparts. The algorithmic behaviour the
+// paper evaluates — partitioning quality, halo volume, merge traffic,
+// per-phase speedup — is therefore exercised identically; only the absolute
+// wall-clock constants differ from real hardware.
+//
+// All ranks must execute the same sequence of collective calls (standard
+// SPMD discipline). If any rank panics, the whole world is aborted and
+// Run returns an error instead of deadlocking.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats aggregates per-rank communication accounting for one Run.
+type Stats struct {
+	// BytesSent[r] counts payload bytes rank r sent (point-to-point and its
+	// share of collectives).
+	BytesSent []int64
+	// MsgsSent[r] counts messages rank r sent.
+	MsgsSent []int64
+}
+
+// TotalBytes returns the total bytes sent across all ranks.
+func (s Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.BytesSent {
+		t += b
+	}
+	return t
+}
+
+type message struct {
+	tag  int
+	data []byte
+}
+
+type errAbort struct{ cause any }
+
+func (e errAbort) Error() string { return fmt.Sprintf("mpi: world aborted: %v", e.cause) }
+
+// world holds the shared state of one Run.
+type world struct {
+	size      int
+	chans     []chan message // dst*size+src
+	slots     [][]byte       // collective exchange buffer, one per rank
+	barrier   *barrier
+	abort     chan struct{}
+	abortOnce sync.Once
+	cause     atomic.Value
+	bytes     []int64
+	msgs      []int64
+}
+
+func (w *world) doAbort(cause any) {
+	w.abortOnce.Do(func() {
+		w.cause.Store(fmt.Sprintf("%v", cause))
+		close(w.abort)
+	})
+}
+
+type barrier struct {
+	mu    sync.Mutex
+	count int
+	gen   chan struct{}
+	size  int
+	abort chan struct{}
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	ch := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen = make(chan struct{})
+		close(ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	select {
+	case <-ch:
+	case <-b.abort:
+		panic(errAbort{cause: "peer failure"})
+	}
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	rank int
+	w    *world
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// Run executes fn on p ranks and blocks until all complete. Each rank's
+// panic aborts the world; the first failure is returned as an error. The
+// returned Stats report per-rank communication volumes.
+func Run(p int, fn func(c *Comm) error) (Stats, error) {
+	if p < 1 {
+		return Stats{}, fmt.Errorf("mpi: need at least 1 rank, got %d", p)
+	}
+	w := &world{
+		size:  p,
+		chans: make([]chan message, p*p),
+		slots: make([][]byte, p),
+		abort: make(chan struct{}),
+		bytes: make([]int64, p),
+		msgs:  make([]int64, p),
+	}
+	for i := range w.chans {
+		w.chans[i] = make(chan message, 1024)
+	}
+	w.barrier = &barrier{gen: make(chan struct{}), size: p, abort: w.abort}
+
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if ea, ok := rec.(errAbort); ok {
+						errs[rank] = ea
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+						w.doAbort(rec)
+					}
+				}
+			}()
+			if err := fn(&Comm{rank: rank, w: w}); err != nil {
+				errs[rank] = err
+				w.doAbort(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	st := Stats{BytesSent: w.bytes, MsgsSent: w.msgs}
+	// Report the root cause first: prefer a non-abort error.
+	for _, err := range errs {
+		if err != nil {
+			if _, isAbort := err.(errAbort); !isAbort {
+				return st, err
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+func (c *Comm) account(bytes int) {
+	atomic.AddInt64(&c.w.bytes[c.rank], int64(bytes))
+	atomic.AddInt64(&c.w.msgs[c.rank], 1)
+}
+
+// Send delivers data to rank dst with the given tag. The payload is not
+// copied; senders must not mutate it afterwards (as with MPI buffers in
+// flight). Blocks only if the destination's channel buffer is full.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	c.account(len(data))
+	select {
+	case c.w.chans[dst*c.w.size+c.rank] <- message{tag: tag, data: data}:
+	case <-c.w.abort:
+		panic(errAbort{cause: "peer failure"})
+	}
+}
+
+// Recv blocks until a message from rank src arrives and returns its payload.
+// The message's tag must equal the expected tag: a mismatch means the SPMD
+// protocol is broken, and panics.
+func (c *Comm) Recv(src, tag int) []byte {
+	if src < 0 || src >= c.w.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	select {
+	case m := <-c.w.chans[c.rank*c.w.size+src]:
+		if m.tag != tag {
+			panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+		}
+		return m.data
+	case <-c.w.abort:
+		panic(errAbort{cause: "peer failure"})
+	}
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() { c.w.barrier.wait() }
+
+// Bcast distributes root's data to every rank and returns it.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.rank == root {
+		c.w.slots[root] = data
+		c.account(len(data) * (c.w.size - 1))
+	}
+	c.Barrier()
+	out := c.w.slots[root]
+	c.Barrier()
+	return out
+}
+
+// Allgather deposits each rank's data and returns the slice of all ranks'
+// payloads indexed by rank. The returned backing arrays are shared; treat
+// them as read-only.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	c.w.slots[c.rank] = data
+	c.account(len(data) * (c.w.size - 1))
+	c.Barrier()
+	out := make([][]byte, c.w.size)
+	copy(out, c.w.slots)
+	c.Barrier()
+	return out
+}
+
+// Alltoall sends send[i] to rank i and returns the payloads received, with
+// recv[i] coming from rank i. len(send) must equal Size.
+func (c *Comm) Alltoall(send [][]byte) [][]byte {
+	if len(send) != c.w.size {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d buffers, got %d", c.w.size, len(send)))
+	}
+	const tag = -1080
+	for dst, data := range send {
+		if dst == c.rank {
+			continue
+		}
+		c.Send(dst, tag, data)
+	}
+	recv := make([][]byte, c.w.size)
+	recv[c.rank] = send[c.rank]
+	for src := 0; src < c.w.size; src++ {
+		if src == c.rank {
+			continue
+		}
+		recv[src] = c.Recv(src, tag)
+	}
+	// All-to-all is a synchronization point in the algorithms built on it.
+	c.Barrier()
+	return recv
+}
+
+// AllreduceInt64 combines one int64 per rank with op ("sum", "max" or "min")
+// and returns the result on every rank.
+func (c *Comm) AllreduceInt64(v int64, op string) int64 {
+	all := c.Allgather(EncodeInt64s([]int64{v}))
+	var acc int64
+	for i, b := range all {
+		x := DecodeInt64s(b)[0]
+		if i == 0 {
+			acc = x
+			continue
+		}
+		switch op {
+		case "sum":
+			acc += x
+		case "max":
+			if x > acc {
+				acc = x
+			}
+		case "min":
+			if x < acc {
+				acc = x
+			}
+		default:
+			panic("mpi: unknown reduce op " + op)
+		}
+	}
+	return acc
+}
+
+// AllreduceFloat64 combines one float64 per rank; op as in AllreduceInt64.
+func (c *Comm) AllreduceFloat64(v float64, op string) float64 {
+	all := c.Allgather(EncodeFloat64s([]float64{v}))
+	var acc float64
+	for i, b := range all {
+		x := DecodeFloat64s(b)[0]
+		if i == 0 {
+			acc = x
+			continue
+		}
+		switch op {
+		case "sum":
+			acc += x
+		case "max":
+			if x > acc {
+				acc = x
+			}
+		case "min":
+			if x < acc {
+				acc = x
+			}
+		default:
+			panic("mpi: unknown reduce op " + op)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,52 @@
+package partition
+
+import (
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mpi"
+)
+
+// encodeRecords packs records as [count][ids...][coords...].
+func encodeRecords(recs []Record, dim int) []byte {
+	ids := make([]int64, 1+len(recs))
+	ids[0] = int64(len(recs))
+	pts := make([]geom.Point, len(recs))
+	for i, r := range recs {
+		ids[1+i] = r.ID
+		pts[i] = r.Pt
+	}
+	head := mpi.EncodeInt64s(ids)
+	body := mpi.EncodePoints(pts, dim)
+	return append(head, body...)
+}
+
+// decodeRecords unpacks a buffer produced by encodeRecords.
+func decodeRecords(b []byte, dim int) []Record {
+	if len(b) < 8 {
+		return nil
+	}
+	n := int(mpi.DecodeInt64s(b[:8])[0])
+	if n == 0 {
+		return nil
+	}
+	ids := mpi.DecodeInt64s(b[8 : 8+8*n])
+	pts := mpi.DecodePoints(b[8+8*n:], dim)
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{ID: ids[i], Pt: pts[i]}
+	}
+	return recs
+}
+
+// encodeMBR packs an MBR as min coords followed by max coords.
+func encodeMBR(m geom.MBR) []byte {
+	vals := make([]float64, 0, 2*m.Dim())
+	vals = append(vals, m.Min...)
+	vals = append(vals, m.Max...)
+	return mpi.EncodeFloat64s(vals)
+}
+
+// decodeMBR unpacks a buffer produced by encodeMBR.
+func decodeMBR(b []byte, dim int) geom.MBR {
+	vals := mpi.DecodeFloat64s(b)
+	return geom.MBR{Min: geom.Point(vals[:dim]), Max: geom.Point(vals[dim : 2*dim])}
+}

@@ -1,0 +1,194 @@
+// Package partition implements the spatial data distribution phase of
+// μDBSCAN-D (§V-A of the paper): recursive kd-style splitting of the rank
+// space with sampling-based medians, plus the ε-extended halo-region
+// exchange each rank needs before local clustering (§V-B).
+//
+// All functions here run collectively: every rank of the communicator must
+// call them with the same parameters, in the same order.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/kdtree"
+	"mudbscan/internal/mpi"
+)
+
+// Record is a point that keeps its identity (index in the original dataset)
+// while moving between ranks.
+type Record struct {
+	ID int64
+	Pt geom.Point
+}
+
+// Part is the outcome of the partitioning phase on one rank.
+type Part struct {
+	// Local are the records now owned by this rank.
+	Local []Record
+	// Region is this rank's axis-aligned spatial responsibility region;
+	// the regions of all ranks tile the space.
+	Region geom.MBR
+	// Regions holds every rank's region, indexed by rank.
+	Regions []geom.MBR
+}
+
+// unboundedMBR covers all of R^dim.
+func unboundedMBR(dim int) geom.MBR {
+	m := geom.MBR{Min: make(geom.Point, dim), Max: make(geom.Point, dim)}
+	for i := 0; i < dim; i++ {
+		m.Min[i] = math.Inf(-1)
+		m.Max[i] = math.Inf(1)
+	}
+	return m
+}
+
+// KD redistributes the local records of every rank with log2(p) rounds of
+// sampling-based median splits: in each round, every active group of ranks
+// picks the widest axis of its combined point extent, estimates the median
+// of that coordinate from per-rank samples, and exchanges points so that the
+// lower half of the group holds coordinates < median and the upper half the
+// rest. The number of ranks must be a power of two.
+//
+// sampleSize is the per-rank sample contribution per round (the paper adopts
+// the sampling-median of BD-CATS); 0 means exact medians from all points.
+// seed makes sampling deterministic.
+func KD(c *mpi.Comm, local []Record, dim, sampleSize int, seed int64) (*Part, error) {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("partition: rank count %d is not a power of two", p)
+	}
+	rng := rand.New(rand.NewSource(seed + int64(c.Rank())*7919))
+	region := unboundedMBR(dim)
+
+	for group := p; group > 1; group /= 2 {
+		base := c.Rank() / group * group
+		half := group / 2
+		lower := c.Rank()-base < half
+
+		// 1) Combined extent of the group -> widest axis.
+		localMBR := geom.NewMBR(dim)
+		for _, rec := range local {
+			localMBR.ExtendPoint(rec.Pt)
+		}
+		allMBR := c.Allgather(encodeMBR(localMBR))
+		combined := geom.NewMBR(dim)
+		for r := base; r < base+group; r++ {
+			m := decodeMBR(allMBR[r], dim)
+			if !m.IsEmpty() {
+				combined.Extend(m)
+			}
+		}
+		axis := 0
+		if !combined.IsEmpty() {
+			axis = kdtree.WidestAxisMBR(combined)
+		}
+
+		// 2) Sampled median of the group along the axis.
+		var sample []float64
+		if sampleSize <= 0 || sampleSize >= len(local) {
+			sample = make([]float64, len(local))
+			for i, rec := range local {
+				sample[i] = rec.Pt[axis]
+			}
+		} else {
+			sample = make([]float64, sampleSize)
+			for i := range sample {
+				sample[i] = local[rng.Intn(len(local))].Pt[axis]
+			}
+		}
+		allSamples := c.Allgather(mpi.EncodeFloat64s(sample))
+		var pool []float64
+		for r := base; r < base+group; r++ {
+			pool = append(pool, mpi.DecodeFloat64s(allSamples[r])...)
+		}
+		median := 0.0
+		if len(pool) > 0 {
+			median = kdtree.MedianOfValues(pool)
+		}
+
+		// 3) Exchange: lower halves keep coord < median.
+		keep := local[:0]
+		var send []Record
+		for _, rec := range local {
+			goesLower := rec.Pt[axis] < median
+			if goesLower == lower {
+				keep = append(keep, rec)
+			} else {
+				send = append(send, rec)
+			}
+		}
+		partner := c.Rank() + half
+		if !lower {
+			partner = c.Rank() - half
+		}
+		c.Send(partner, group, encodeRecords(send, dim))
+		received := decodeRecords(c.Recv(partner, group), dim)
+		local = append(keep, received...)
+
+		// 4) Region refinement.
+		if lower {
+			region.Max[axis] = median
+		} else {
+			region.Min[axis] = median
+		}
+		c.Barrier()
+	}
+
+	// Publish every rank's region.
+	allRegions := c.Allgather(encodeMBR(region))
+	regions := make([]geom.MBR, p)
+	for r := range regions {
+		regions[r] = decodeMBR(allRegions[r], dim)
+	}
+	return &Part{Local: local, Region: region, Regions: regions}, nil
+}
+
+// HaloExchange sends every local record that falls inside another rank's
+// ε-extended region to that rank, and returns the halo records received
+// here (records owned by other ranks that local points may need as
+// ε-neighbors). Must be called collectively.
+func HaloExchange(c *mpi.Comm, part *Part, eps float64, dim int) []Record {
+	p := c.Size()
+	send := make([][]Record, p)
+	for dst := 0; dst < p; dst++ {
+		if dst == c.Rank() {
+			continue
+		}
+		ext := part.Regions[dst].Expanded(eps)
+		for _, rec := range part.Local {
+			if ext.Contains(rec.Pt) {
+				send[dst] = append(send[dst], rec)
+			}
+		}
+	}
+	bufs := make([][]byte, p)
+	for dst := range bufs {
+		bufs[dst] = encodeRecords(send[dst], dim)
+	}
+	recv := c.Alltoall(bufs)
+	var halo []Record
+	for src, b := range recv {
+		if src == c.Rank() {
+			continue
+		}
+		halo = append(halo, decodeRecords(b, dim)...)
+	}
+	return halo
+}
+
+// Scatter deals pts in contiguous chunks to the ranks, simulating the
+// parallel file read that precedes partitioning: rank r receives records
+// [r*n/p, (r+1)*n/p) with IDs equal to the original indices. Cheap (no
+// copies of coordinates) and deterministic.
+func Scatter(rank, size int, pts []geom.Point) []Record {
+	n := len(pts)
+	lo, hi := rank*n/size, (rank+1)*n/size
+	recs := make([]Record, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		recs = append(recs, Record{ID: int64(i), Pt: pts[i]})
+	}
+	return recs
+}

@@ -1,0 +1,259 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mpi"
+)
+
+func randPoints(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// runKD partitions pts across p ranks and returns per-rank parts.
+func runKD(t *testing.T, pts []geom.Point, p, dim, sampleSize int) []*Part {
+	t.Helper()
+	parts := make([]*Part, p)
+	var mu sync.Mutex
+	_, err := mpi.Run(p, func(c *mpi.Comm) error {
+		part, err := KD(c, Scatter(c.Rank(), c.Size(), pts), dim, sampleSize, 42)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		parts[c.Rank()] = part
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+func TestKDPreservesAllRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 1000, 3)
+	for _, p := range []int{1, 2, 4, 8} {
+		parts := runKD(t, pts, p, 3, 0)
+		var ids []int
+		for _, part := range parts {
+			for _, rec := range part.Local {
+				ids = append(ids, int(rec.ID))
+				if !pts[rec.ID].Equal(rec.Pt) {
+					t.Fatalf("p=%d: record %d coordinates corrupted", p, rec.ID)
+				}
+			}
+		}
+		sort.Ints(ids)
+		if len(ids) != len(pts) {
+			t.Fatalf("p=%d: %d records after partitioning, want %d", p, len(ids), len(pts))
+		}
+		for i, id := range ids {
+			if id != i {
+				t.Fatalf("p=%d: record %d missing or duplicated", p, i)
+			}
+		}
+	}
+}
+
+func TestKDPointsInsideTheirRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 800, 2)
+	parts := runKD(t, pts, 8, 2, 0)
+	for r, part := range parts {
+		for _, rec := range part.Local {
+			if !part.Region.Contains(rec.Pt) {
+				t.Fatalf("rank %d: point %v outside region %v", r, rec.Pt, part.Region)
+			}
+		}
+	}
+}
+
+func TestKDRegionsDisjointCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 600, 3)
+	parts := runKD(t, pts, 8, 3, 0)
+	regions := parts[0].Regions
+	// Probe random points: each must belong to at least one region, and to
+	// exactly one region interior-wise (boundaries are half-open by the
+	// "< median goes lower" rule, so count containment with that rule).
+	for trial := 0; trial < 500; trial++ {
+		q := geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		hits := 0
+		for _, reg := range regions {
+			inside := true
+			for ax := range q {
+				if q[ax] < reg.Min[ax] || q[ax] >= reg.Max[ax] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("probe %v lies in %d regions", q, hits)
+		}
+	}
+}
+
+func TestKDBalanceWithExactMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 4096, 3)
+	parts := runKD(t, pts, 8, 3, 0)
+	for r, part := range parts {
+		n := len(part.Local)
+		if n < 4096/8-64 || n > 4096/8+64 {
+			t.Fatalf("rank %d holds %d points; exact medians should balance near %d", r, n, 4096/8)
+		}
+	}
+}
+
+func TestKDBalanceWithSampledMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 8000, 3)
+	parts := runKD(t, pts, 8, 3, 200)
+	for r, part := range parts {
+		n := len(part.Local)
+		if n < 500 || n > 1500 {
+			t.Fatalf("rank %d holds %d points; sampled medians should balance roughly", r, n)
+		}
+	}
+}
+
+func TestKDRejectsNonPowerOfTwo(t *testing.T) {
+	_, err := mpi.Run(3, func(c *mpi.Comm) error {
+		_, err := KD(c, nil, 2, 0, 1)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected power-of-two error")
+	}
+}
+
+func TestKDSingleRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randPoints(rng, 100, 2)
+	parts := runKD(t, pts, 1, 2, 0)
+	if len(parts[0].Local) != 100 {
+		t.Fatalf("single rank should keep all points, has %d", len(parts[0].Local))
+	}
+	if !parts[0].Region.Contains(geom.Point{1e9, -1e9}) {
+		t.Fatal("single-rank region should be unbounded")
+	}
+}
+
+func TestHaloExchangeCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randPoints(rng, 1200, 2)
+	const p = 4
+	const eps = 3.0
+	halos := make([][]Record, p)
+	parts := make([]*Part, p)
+	var mu sync.Mutex
+	_, err := mpi.Run(p, func(c *mpi.Comm) error {
+		part, err := KD(c, Scatter(c.Rank(), c.Size(), pts), 2, 0, 9)
+		if err != nil {
+			return err
+		}
+		halo := HaloExchange(c, part, eps, 2)
+		mu.Lock()
+		parts[c.Rank()] = part
+		halos[c.Rank()] = halo
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		owned := make(map[int64]bool)
+		for _, rec := range parts[r].Local {
+			owned[rec.ID] = true
+		}
+		have := make(map[int64]bool)
+		for _, rec := range halos[r] {
+			if owned[rec.ID] {
+				t.Fatalf("rank %d received its own point %d as halo", r, rec.ID)
+			}
+			if have[rec.ID] {
+				t.Fatalf("rank %d received halo point %d twice", r, rec.ID)
+			}
+			have[rec.ID] = true
+			if !parts[r].Region.Expanded(eps).Contains(rec.Pt) {
+				t.Fatalf("rank %d: halo point %d outside ε-extended region", r, rec.ID)
+			}
+		}
+		// Completeness: every foreign point within eps of a local point
+		// must be present in the halo.
+		for _, rec := range parts[r].Local {
+			for j, q := range pts {
+				if owned[int64(j)] {
+					continue
+				}
+				if geom.Within(rec.Pt, q, eps) && !have[int64(j)] {
+					t.Fatalf("rank %d: foreign neighbor %d of local %d missing from halo", r, j, rec.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestScatterCoversAll(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(8)), 103, 2)
+	seen := make([]bool, 103)
+	total := 0
+	for r := 0; r < 8; r++ {
+		for _, rec := range Scatter(r, 8, pts) {
+			if seen[rec.ID] {
+				t.Fatalf("point %d scattered twice", rec.ID)
+			}
+			seen[rec.ID] = true
+			total++
+		}
+	}
+	if total != 103 {
+		t.Fatalf("scattered %d of 103", total)
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 17} {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{ID: int64(i * 1000), Pt: geom.Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}}
+		}
+		got := decodeRecords(encodeRecords(recs, 3), 3)
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range got {
+			if got[i].ID != recs[i].ID || !got[i].Pt.Equal(recs[i].Pt) {
+				t.Fatalf("n=%d: record %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestMBRCodecRoundTrip(t *testing.T) {
+	m := geom.MBR{Min: geom.Point{-1, 2}, Max: geom.Point{3, 4}}
+	got := decodeMBR(encodeMBR(m), 2)
+	if !got.Min.Equal(m.Min) || !got.Max.Equal(m.Max) {
+		t.Fatalf("round trip: %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package quality provides clustering agreement metrics — Adjusted Rand
+// Index, Normalized Mutual Information and purity — used to quantify how
+// close an approximate clustering (e.g. RP-DBSCAN's ρ-approximation) is to
+// the exact DBSCAN result, and to score recovered clusters against known
+// generating structure in the examples and experiments.
+//
+// All metrics accept label slices where values >= 0 are cluster ids and any
+// negative value is noise. Noise is treated as one ordinary class, so two
+// clusterings that agree on the noise set score higher.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// contingency builds the confusion counts between two labelings, mapping
+// negative (noise) labels to a dedicated class per side.
+func contingency(a, b []int) (table map[[2]int]float64, rowSum, colSum map[int]float64, n float64, err error) {
+	if len(a) != len(b) {
+		return nil, nil, nil, 0, fmt.Errorf("quality: label slices differ in length: %d vs %d", len(a), len(b))
+	}
+	table = make(map[[2]int]float64)
+	rowSum = make(map[int]float64)
+	colSum = make(map[int]float64)
+	for i := range a {
+		x, y := a[i], b[i]
+		if x < 0 {
+			x = -1
+		}
+		if y < 0 {
+			y = -1
+		}
+		table[[2]int{x, y}]++
+		rowSum[x]++
+		colSum[y]++
+	}
+	return table, rowSum, colSum, float64(len(a)), nil
+}
+
+func choose2(x float64) float64 { return x * (x - 1) / 2 }
+
+// ARI returns the Adjusted Rand Index between labelings a and b: 1 for
+// identical partitions (up to label permutation), ~0 for independent ones,
+// and possibly negative for adversarial disagreement.
+func ARI(a, b []int) (float64, error) {
+	table, rows, cols, n, err := contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	var sumComb, sumRows, sumCols float64
+	for _, v := range table {
+		sumComb += choose2(v)
+	}
+	for _, v := range rows {
+		sumRows += choose2(v)
+	}
+	for _, v := range cols {
+		sumCols += choose2(v)
+	}
+	total := choose2(n)
+	if total == 0 {
+		return 1, nil
+	}
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate: both partitions are single-class; identical by
+		// construction.
+		return 1, nil
+	}
+	return (sumComb - expected) / (maxIndex - expected), nil
+}
+
+// NMI returns the Normalized Mutual Information (arithmetic normalization)
+// between labelings a and b in [0, 1].
+func NMI(a, b []int) (float64, error) {
+	table, rows, cols, n, err := contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	var mi, ha, hb float64
+	for k, v := range table {
+		if v == 0 {
+			continue
+		}
+		pxy := v / n
+		px := rows[k[0]] / n
+		py := cols[k[1]] / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	for _, v := range rows {
+		if v > 0 {
+			p := v / n
+			ha -= p * math.Log(p)
+		}
+	}
+	for _, v := range cols {
+		if v > 0 {
+			p := v / n
+			hb -= p * math.Log(p)
+		}
+	}
+	if ha == 0 && hb == 0 {
+		return 1, nil
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	v := mi / denom
+	// Clamp tiny floating error.
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// Purity returns the fraction of points whose predicted cluster's majority
+// true class matches their true class. Noise points on the predicted side
+// form their own class. In [0, 1]; higher is better.
+func Purity(truth, pred []int) (float64, error) {
+	table, _, _, n, err := contingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	best := make(map[int]float64)
+	for k, v := range table {
+		if v > best[k[1]] {
+			best[k[1]] = v
+		}
+	}
+	var agree float64
+	for _, v := range best {
+		agree += v
+	}
+	return agree / n, nil
+}

@@ -1,0 +1,143 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, -1}
+	b := []int{5, 5, 3, 3, 9, -7} // permuted labels, same partition
+	if v, err := ARI(a, b); err != nil || math.Abs(v-1) > 1e-12 {
+		t.Fatalf("ARI=%v err=%v", v, err)
+	}
+	if v, err := NMI(a, b); err != nil || math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMI=%v err=%v", v, err)
+	}
+	if v, err := Purity(a, b); err != nil || v != 1 {
+		t.Fatalf("Purity=%v err=%v", v, err)
+	}
+}
+
+func TestTotalDisagreement(t *testing.T) {
+	// One partition all-same, the other all-distinct.
+	a := []int{0, 0, 0, 0}
+	b := []int{0, 1, 2, 3}
+	v, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.01 {
+		t.Fatalf("ARI=%v should be ~0", v)
+	}
+	nmi, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi > 0.01 {
+		t.Fatalf("NMI=%v should be ~0", nmi)
+	}
+}
+
+func TestPartialAgreement(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 1, 1}
+	v, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v >= 1 {
+		t.Fatalf("ARI=%v should be strictly between 0 and 1", v)
+	}
+}
+
+func TestNoiseTreatedAsClass(t *testing.T) {
+	// Same clusters but one side marks extra points as noise.
+	a := []int{0, 0, 1, 1, -1, -1}
+	b := []int{0, 0, 1, 1, -1, 1}
+	v, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 1 {
+		t.Fatal("differing noise must reduce ARI below 1")
+	}
+}
+
+func TestPurityMajority(t *testing.T) {
+	truth := []int{0, 0, 0, 1}
+	pred := []int{7, 7, 7, 7}
+	v, err := Purity(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.75) > 1e-12 {
+		t.Fatalf("Purity=%v want 0.75", v)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := ARI([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := NMI([]int{1}, nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Purity(nil, []int{1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for _, f := range []func([]int, []int) (float64, error){ARI, NMI, Purity} {
+		if v, err := f(nil, nil); err != nil || v != 1 {
+			t.Fatalf("empty: v=%v err=%v", v, err)
+		}
+	}
+}
+
+// Properties: symmetry of ARI/NMI, permutation invariance, and range.
+func TestQuickProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 2 + rng.Intn(100)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(5) - 1
+			b[i] = rng.Intn(5) - 1
+		}
+		ab, err1 := ARI(a, b)
+		ba, err2 := ARI(b, a)
+		if err1 != nil || err2 != nil || math.Abs(ab-ba) > 1e-9 {
+			return false
+		}
+		nab, _ := NMI(a, b)
+		nba, _ := NMI(b, a)
+		if math.Abs(nab-nba) > 1e-9 || nab < 0 || nab > 1 {
+			return false
+		}
+		// Permuting b's labels must not change any metric.
+		perm := map[int]int{}
+		next := 100
+		b2 := make([]int, n)
+		for i, v := range b {
+			if v < 0 {
+				b2[i] = v
+				continue
+			}
+			if _, ok := perm[v]; !ok {
+				perm[v] = next
+				next++
+			}
+			b2[i] = perm[v]
+		}
+		ab2, _ := ARI(a, b2)
+		return math.Abs(ab-ab2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

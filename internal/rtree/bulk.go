@@ -1,0 +1,95 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"mudbscan/internal/geom"
+)
+
+// BulkLoad builds an R-tree over pts using Sort-Tile-Recursive packing
+// (Leutenegger et al.). ids[i] is the identifier stored for pts[i]; when ids
+// is nil the point index is used. Bulk loading produces trees with far less
+// node overlap than repeated insertion, which matters for the auxiliary
+// R-trees of the μR-tree that are built once and then only queried.
+func BulkLoad(dim, maxEntries int, pts []geom.Point, ids []int) *Tree {
+	t := New(dim, maxEntries)
+	if len(pts) == 0 {
+		return t
+	}
+	if ids == nil {
+		ids = make([]int, len(pts))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	if len(ids) != len(pts) {
+		panic("rtree: BulkLoad ids/pts length mismatch")
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	leaves := t.strPack(pts, ids, order, 0)
+	// Pack upward until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		level = t.packNodes(level)
+	}
+	t.root = level[0]
+	t.size = len(pts)
+	return t
+}
+
+// strPack recursively tiles order (indices into pts) along axis and returns
+// packed leaves.
+func (t *Tree) strPack(pts []geom.Point, ids, order []int, axis int) []*node {
+	n := len(order)
+	if n <= t.maxEntries {
+		leaf := &node{leaf: true}
+		leaf.pts = make([]geom.Point, 0, n)
+		leaf.ids = make([]int, 0, n)
+		for _, i := range order {
+			leaf.pts = append(leaf.pts, pts[i])
+			leaf.ids = append(leaf.ids, ids[i])
+		}
+		leaf.mbr = geom.MBRFromPoints(leaf.pts)
+		return []*node{leaf}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return pts[order[a]][axis] < pts[order[b]][axis]
+	})
+	// Number of leaf pages and vertical slabs per STR.
+	numLeaves := (n + t.maxEntries - 1) / t.maxEntries
+	slabs := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+	slabSize := (n + slabs - 1) / slabs
+	nextAxis := (axis + 1) % t.dim
+	var leaves []*node
+	for start := 0; start < n; start += slabSize {
+		end := start + slabSize
+		if end > n {
+			end = n
+		}
+		leaves = append(leaves, t.strPack(pts, ids, order[start:end], nextAxis)...)
+	}
+	return leaves
+}
+
+// packNodes groups nodes of one level into parents of up to maxEntries
+// children, ordering by MBR center along the first axis for locality.
+func (t *Tree) packNodes(level []*node) []*node {
+	sort.Slice(level, func(a, b int) bool {
+		return level[a].mbr.Center()[0] < level[b].mbr.Center()[0]
+	})
+	var parents []*node
+	for start := 0; start < len(level); start += t.maxEntries {
+		end := start + t.maxEntries
+		if end > len(level) {
+			end = len(level)
+		}
+		p := &node{leaf: false, children: append([]*node(nil), level[start:end]...)}
+		p.mbr = mbrOfChildren(p.children)
+		parents = append(parents, p)
+	}
+	return parents
+}

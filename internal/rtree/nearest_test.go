@@ -1,0 +1,84 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mudbscan/internal/geom"
+)
+
+func TestNearestBasic(t *testing.T) {
+	tr := New(2, 0)
+	if _, _, ok := tr.Nearest(geom.Point{0, 0}, 1, true); ok {
+		t.Fatal("empty tree has no nearest")
+	}
+	tr.Insert(0, geom.Point{0, 0})
+	tr.Insert(1, geom.Point{3, 0})
+	tr.Insert(2, geom.Point{10, 0})
+
+	id, pt, ok := tr.Nearest(geom.Point{1, 0}, 5, true)
+	if !ok || id != 0 || !pt.Equal(geom.Point{0, 0}) {
+		t.Fatalf("nearest: id=%d ok=%v", id, ok)
+	}
+	// Nothing strictly within radius 1 of (5,0): nearest candidate is at 2.
+	if _, _, ok := tr.Nearest(geom.Point{5, 0}, 1, true); ok {
+		t.Fatal("no point within radius 1")
+	}
+}
+
+func TestNearestStrictVsClosedBoundary(t *testing.T) {
+	tr := New(1, 0)
+	tr.Insert(7, geom.Point{5})
+	// Query at distance exactly 5.
+	if _, _, ok := tr.Nearest(geom.Point{0}, 5, true); ok {
+		t.Fatal("strict: boundary point must be excluded")
+	}
+	id, _, ok := tr.Nearest(geom.Point{0}, 5, false)
+	if !ok || id != 7 {
+		t.Fatal("closed: boundary point must be included")
+	}
+}
+
+func TestNearestTieBreaksTowardSmallerID(t *testing.T) {
+	tr := New(2, 0)
+	tr.Insert(9, geom.Point{1, 0})
+	tr.Insert(3, geom.Point{-1, 0})
+	id, _, ok := tr.Nearest(geom.Point{0, 0}, 2, true)
+	if !ok || id != 3 {
+		t.Fatalf("tie should pick smaller id, got %d", id)
+	}
+	// Same under closed semantics at the exact boundary.
+	tr2 := New(2, 0)
+	tr2.Insert(8, geom.Point{1, 0})
+	tr2.Insert(2, geom.Point{-1, 0})
+	id, _, ok = tr2.Nearest(geom.Point{0, 0}, 1, false)
+	if !ok || id != 2 {
+		t.Fatalf("closed tie should pick smaller id, got %d", id)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randPoints(rng, 600, 3)
+	tr := BulkLoad(3, 8, pts, nil)
+	for trial := 0; trial < 100; trial++ {
+		q := geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		r := rng.Float64() * 40
+		bestID, bestD := -1, r*r
+		for i, p := range pts {
+			d := geom.DistSq(q, p)
+			if d < bestD || (d == bestD && bestID != -1 && i < bestID) {
+				bestID, bestD = i, d
+			}
+		}
+		id, _, ok := tr.Nearest(q, r, true)
+		if ok != (bestID != -1) {
+			t.Fatalf("trial %d: ok=%v want %v", trial, ok, bestID != -1)
+		}
+		if ok && id != bestID {
+			t.Fatalf("trial %d: id=%d want %d (d=%g vs %g)",
+				trial, id, bestID, geom.DistSq(q, pts[id]), math.Sqrt(bestD))
+		}
+	}
+}

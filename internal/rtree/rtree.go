@@ -1,0 +1,443 @@
+// Package rtree implements an in-memory R-tree (Guttman, SIGMOD'84) over
+// d-dimensional points. It backs the classic R-DBSCAN baseline and both
+// levels of the paper's two-level μR-tree (the first level indexes
+// micro-cluster centers, the auxiliary trees index the points of one
+// micro-cluster each).
+//
+// The tree supports incremental insertion with quadratic node splitting and
+// Sort-Tile-Recursive (STR) bulk loading. Queries are read-only and safe for
+// concurrent use once the tree is built.
+package rtree
+
+import (
+	"fmt"
+
+	"mudbscan/internal/geom"
+)
+
+// DefaultMaxEntries is the default node fan-out M.
+const DefaultMaxEntries = 16
+
+// Tree is an R-tree over points. Each stored point carries an integer id
+// chosen by the caller (typically an index into the caller's dataset).
+type Tree struct {
+	dim        int
+	root       *node
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+type node struct {
+	mbr      geom.MBR
+	leaf     bool
+	children []*node      // internal nodes only
+	pts      []geom.Point // leaf nodes only
+	ids      []int        // leaf nodes only, parallel to pts
+}
+
+// New returns an empty R-tree for points of dimensionality dim with node
+// fan-out maxEntries (use 0 for DefaultMaxEntries).
+func New(dim, maxEntries int) *Tree {
+	if dim <= 0 {
+		panic("rtree: dimension must be positive")
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	t := &Tree{
+		dim:        dim,
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5,
+	}
+	if t.minEntries < 2 {
+		t.minEntries = 2
+	}
+	t.root = &node{leaf: true, mbr: geom.NewMBR(dim)}
+	return t
+}
+
+// Dim returns the dimensionality of the indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// RootMBR returns the bounding rectangle of everything in the tree
+// (the empty MBR when the tree is empty).
+func (t *Tree) RootMBR() geom.MBR { return t.root.mbr }
+
+// Insert adds point p with identifier id. The tree keeps a reference to p;
+// the caller must not mutate it afterwards.
+func (t *Tree) Insert(id int, p geom.Point) {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("rtree: inserting %d-dim point into %d-dim tree", len(p), t.dim))
+	}
+	split := t.insert(t.root, id, p)
+	if split != nil {
+		old := t.root
+		t.root = &node{
+			leaf:     false,
+			children: []*node{old, split},
+			mbr:      old.mbr.Clone(),
+		}
+		t.root.mbr.Extend(split.mbr)
+	}
+	t.size++
+}
+
+// insert recursively places (id, p) under n, returning a new sibling if n was
+// split.
+func (t *Tree) insert(n *node, id int, p geom.Point) *node {
+	if n.mbr.IsEmpty() {
+		n.mbr = geom.MBRFromPoint(p)
+	} else {
+		n.mbr.ExtendPoint(p)
+	}
+	if n.leaf {
+		n.pts = append(n.pts, p)
+		n.ids = append(n.ids, id)
+		if len(n.pts) > t.maxEntries {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	child := chooseSubtree(n.children, p)
+	split := t.insert(child, id, p)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.maxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose MBR needs the least area enlargement to
+// cover p, breaking ties by smaller area.
+func chooseSubtree(children []*node, p geom.Point) *node {
+	best := children[0]
+	bestEnl, bestArea := pointEnlargement(best.mbr, p)
+	for _, c := range children[1:] {
+		enl, area := pointEnlargement(c.mbr, p)
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = c, enl, area
+		}
+	}
+	return best
+}
+
+// pointEnlargement returns the area growth of m if extended to cover p, and
+// m's current area, without allocating. This sits on the hot path of every
+// insertion (once per child per level).
+func pointEnlargement(m geom.MBR, p geom.Point) (enl, area float64) {
+	grown := 1.0
+	area = 1.0
+	for i := range m.Min {
+		lo, hi := m.Min[i], m.Max[i]
+		area *= hi - lo
+		if p[i] < lo {
+			lo = p[i]
+		}
+		if p[i] > hi {
+			hi = p[i]
+		}
+		grown *= hi - lo
+	}
+	return grown - area, area
+}
+
+// splitLeaf performs a quadratic split of an overfull leaf, leaving one group
+// in n and returning the other as a new node.
+func (t *Tree) splitLeaf(n *node) *node {
+	boxes := make([]geom.MBR, len(n.pts))
+	for i, p := range n.pts {
+		boxes[i] = geom.MBRFromPoint(p)
+	}
+	g1, g2 := t.quadraticSplit(boxes)
+	pts, ids := n.pts, n.ids
+	n.pts = make([]geom.Point, 0, len(g1))
+	n.ids = make([]int, 0, len(g1))
+	sib := &node{leaf: true}
+	sib.pts = make([]geom.Point, 0, len(g2))
+	sib.ids = make([]int, 0, len(g2))
+	for _, i := range g1 {
+		n.pts = append(n.pts, pts[i])
+		n.ids = append(n.ids, ids[i])
+	}
+	for _, i := range g2 {
+		sib.pts = append(sib.pts, pts[i])
+		sib.ids = append(sib.ids, ids[i])
+	}
+	n.mbr = geom.MBRFromPoints(n.pts)
+	sib.mbr = geom.MBRFromPoints(sib.pts)
+	return sib
+}
+
+// splitInternal performs a quadratic split of an overfull internal node.
+func (t *Tree) splitInternal(n *node) *node {
+	boxes := make([]geom.MBR, len(n.children))
+	for i, c := range n.children {
+		boxes[i] = c.mbr
+	}
+	g1, g2 := t.quadraticSplit(boxes)
+	children := n.children
+	n.children = make([]*node, 0, len(g1))
+	sib := &node{leaf: false}
+	sib.children = make([]*node, 0, len(g2))
+	for _, i := range g1 {
+		n.children = append(n.children, children[i])
+	}
+	for _, i := range g2 {
+		sib.children = append(sib.children, children[i])
+	}
+	n.mbr = mbrOfChildren(n.children)
+	sib.mbr = mbrOfChildren(sib.children)
+	return sib
+}
+
+func mbrOfChildren(children []*node) geom.MBR {
+	m := children[0].mbr.Clone()
+	for _, c := range children[1:] {
+		m.Extend(c.mbr)
+	}
+	return m
+}
+
+// quadraticSplit partitions indices 0..len(boxes)-1 into two groups using
+// Guttman's quadratic PickSeeds / PickNext heuristics. Both groups are
+// guaranteed at least minEntries members.
+func (t *Tree) quadraticSplit(boxes []geom.MBR) (g1, g2 []int) {
+	n := len(boxes)
+	// PickSeeds: the pair wasting the most area if grouped together.
+	s1, s2, worst := 0, 1, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u := boxes[i].Clone()
+			u.Extend(boxes[j])
+			waste := u.Area() - boxes[i].Area() - boxes[j].Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	g1 = append(g1, s1)
+	g2 = append(g2, s2)
+	m1 := boxes[s1].Clone()
+	m2 := boxes[s2].Clone()
+	assigned := make([]bool, n)
+	assigned[s1], assigned[s2] = true, true
+	remaining := n - 2
+	for remaining > 0 {
+		// Force-assign when one group must take all the rest to reach min.
+		if len(g1)+remaining == t.minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g1 = append(g1, i)
+					m1.Extend(boxes[i])
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		if len(g2)+remaining == t.minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g2 = append(g2, i)
+					m2.Extend(boxes[i])
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		// PickNext: the entry with the greatest preference for one group.
+		next, bestDiff := -1, -1.0
+		var d1Best, d2Best float64
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			d1 := m1.EnlargementArea(boxes[i])
+			d2 := m2.EnlargementArea(boxes[i])
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, next, d1Best, d2Best = diff, i, d1, d2
+			}
+		}
+		switch {
+		case d1Best < d2Best:
+			g1 = append(g1, next)
+			m1.Extend(boxes[next])
+		case d2Best < d1Best:
+			g2 = append(g2, next)
+			m2.Extend(boxes[next])
+		case len(g1) <= len(g2):
+			g1 = append(g1, next)
+			m1.Extend(boxes[next])
+		default:
+			g2 = append(g2, next)
+			m2.Extend(boxes[next])
+		}
+		assigned[next] = true
+		remaining--
+	}
+	return g1, g2
+}
+
+// Sphere visits every stored point p' with dist(p', center) < r when strict,
+// or <= r otherwise. It returns the number of point-distance computations
+// performed, which the benchmarks use as the query-cost metric. fn may be nil
+// when only the cost is of interest.
+func (t *Tree) Sphere(center geom.Point, r float64, strict bool, fn func(id int, pt geom.Point)) (distCalcs int) {
+	if t.size == 0 {
+		return 0
+	}
+	r2 := r * r
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for i, p := range n.pts {
+				distCalcs++
+				d2 := geom.DistSq(center, p)
+				if d2 < r2 || (!strict && d2 == r2) {
+					if fn != nil {
+						fn(n.ids[i], p)
+					}
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c.mbr.MinDistSq(center) <= r2 {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return distCalcs
+}
+
+// Nearest returns the id and point of the stored point closest to center
+// among those with dist < r (strict) or <= r (closed), and whether one was
+// found. Ties are broken toward the smaller id for determinism.
+func (t *Tree) Nearest(center geom.Point, r float64, strict bool) (id int, pt geom.Point, ok bool) {
+	if t.size == 0 {
+		return 0, nil, false
+	}
+	best := r * r
+	bestID := -1
+	var bestPt geom.Point
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for i, p := range n.pts {
+				d2 := geom.DistSq(center, p)
+				better := d2 < best || (!strict && d2 == best && (bestID == -1 || n.ids[i] < bestID))
+				if strict && d2 == best && bestID != -1 && n.ids[i] < bestID {
+					better = true
+				}
+				if better {
+					best, bestID, bestPt = d2, n.ids[i], p
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c.mbr.MinDistSq(center) <= best {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	if bestID == -1 {
+		return 0, nil, false
+	}
+	return bestID, bestPt, true
+}
+
+// Any reports whether some stored point lies strictly within r of center
+// (or within the closed ball when strict is false), returning on the first
+// hit found.
+func (t *Tree) Any(center geom.Point, r float64, strict bool) bool {
+	if t.size == 0 {
+		return false
+	}
+	r2 := r * r
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, p := range n.pts {
+				d2 := geom.DistSq(center, p)
+				if d2 < r2 || (!strict && d2 == r2) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range n.children {
+			if c.mbr.MinDistSq(center) <= r2 && walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(t.root)
+}
+
+// Rect visits every stored point inside rect (closed bounds).
+func (t *Tree) Rect(rect geom.MBR, fn func(id int, pt geom.Point)) {
+	if t.size == 0 {
+		return
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for i, p := range n.pts {
+				if rect.Contains(p) {
+					fn(n.ids[i], p)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c.mbr.Overlaps(rect) {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+}
+
+// All visits every stored point in unspecified order.
+func (t *Tree) All(fn func(id int, pt geom.Point)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for i, p := range n.pts {
+				fn(n.ids[i], p)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+}
+
+// Height returns the number of levels in the tree (1 for a leaf-only tree).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}

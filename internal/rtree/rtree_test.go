@@ -1,0 +1,320 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mudbscan/internal/geom"
+)
+
+func randPoints(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// bruteSphere returns sorted ids with dist(p, center) < r (strict) or <= r.
+func bruteSphere(pts []geom.Point, center geom.Point, r float64, strict bool) []int {
+	var out []int
+	for i, p := range pts {
+		d2 := geom.DistSq(center, p)
+		if d2 < r*r || (!strict && d2 == r*r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func collectSphere(t *Tree, center geom.Point, r float64, strict bool) []int {
+	var got []int
+	t.Sphere(center, r, strict, func(id int, _ geom.Point) { got = append(got, id) })
+	sort.Ints(got)
+	return got
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(3, 0)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree length")
+	}
+	if n := tr.Sphere(geom.Point{0, 0, 0}, 1, true, nil); n != 0 {
+		t.Fatal("empty tree sphere should do no work")
+	}
+	tr.Rect(geom.Region(geom.Point{0, 0, 0}, 1), func(int, geom.Point) {
+		t.Fatal("empty tree rect visited something")
+	})
+	if !tr.RootMBR().IsEmpty() {
+		t.Fatal("empty tree root MBR should be empty")
+	}
+}
+
+func TestInsertAndSphereMatchesBrute(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(d)))
+		pts := randPoints(rng, 500, d)
+		tr := New(d, 8)
+		for i, p := range pts {
+			tr.Insert(i, p)
+		}
+		if tr.Len() != 500 {
+			t.Fatalf("d=%d Len=%d", d, tr.Len())
+		}
+		for trial := 0; trial < 50; trial++ {
+			c := pts[rng.Intn(len(pts))]
+			r := rng.Float64() * 30
+			want := bruteSphere(pts, c, r, true)
+			got := collectSphere(tr, c, r, true)
+			if !equalInts(got, want) {
+				t.Fatalf("d=%d sphere mismatch: got %d want %d ids", d, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSphereClosedVsStrict(t *testing.T) {
+	tr := New(1, 0)
+	tr.Insert(0, geom.Point{0})
+	tr.Insert(1, geom.Point{5})
+	got := collectSphere(tr, geom.Point{0}, 5, true)
+	if !equalInts(got, []int{0}) {
+		t.Fatalf("strict: %v", got)
+	}
+	got = collectSphere(tr, geom.Point{0}, 5, false)
+	if !equalInts(got, []int{0, 1}) {
+		t.Fatalf("closed: %v", got)
+	}
+}
+
+func TestRectMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randPoints(rng, 400, 3)
+	tr := New(3, 8)
+	for i, p := range pts {
+		tr.Insert(i, p)
+	}
+	for trial := 0; trial < 30; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		rect := geom.Region(c, 5+rng.Float64()*20)
+		var want []int
+		for i, p := range pts {
+			if rect.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		var got []int
+		tr.Rect(rect, func(id int, _ geom.Point) { got = append(got, id) })
+		sort.Ints(got)
+		if !equalInts(got, want) {
+			t.Fatalf("rect mismatch: got %d want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPoints(rng, 300, 2)
+	tr := New(2, 6)
+	for i, p := range pts {
+		tr.Insert(i, p)
+	}
+	seen := make(map[int]bool)
+	tr.All(func(id int, _ geom.Point) {
+		if seen[id] {
+			t.Fatalf("id %d visited twice", id)
+		}
+		seen[id] = true
+	})
+	if len(seen) != 300 {
+		t.Fatalf("All visited %d of 300", len(seen))
+	}
+}
+
+func TestRootMBRCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randPoints(rng, 200, 4)
+	tr := New(4, 8)
+	for i, p := range pts {
+		tr.Insert(i, p)
+	}
+	root := tr.RootMBR()
+	for _, p := range pts {
+		if !root.Contains(p) {
+			t.Fatalf("root MBR misses %v", p)
+		}
+	}
+}
+
+func TestBulkLoadMatchesBrute(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 250, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		pts := randPoints(rng, n, 3)
+		tr := BulkLoad(3, 8, pts, nil)
+		if tr.Len() != n {
+			t.Fatalf("n=%d Len=%d", n, tr.Len())
+		}
+		seen := make(map[int]bool)
+		tr.All(func(id int, _ geom.Point) { seen[id] = true })
+		if len(seen) != n {
+			t.Fatalf("n=%d BulkLoad lost points: %d", n, len(seen))
+		}
+		for trial := 0; trial < 20 && n > 0; trial++ {
+			c := pts[rng.Intn(n)]
+			r := rng.Float64() * 40
+			if !equalInts(collectSphere(tr, c, r, true), bruteSphere(pts, c, r, true)) {
+				t.Fatalf("n=%d bulk sphere mismatch", n)
+			}
+		}
+	}
+}
+
+func TestBulkLoadCustomIDs(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}, {2, 2}}
+	ids := []int{10, 20, 30}
+	tr := BulkLoad(2, 0, pts, ids)
+	got := collectSphere(tr, geom.Point{1, 1}, 0.5, true)
+	if !equalInts(got, []int{20}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBulkLoadIDMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BulkLoad(2, 0, []geom.Point{{0, 0}}, []int{1, 2})
+}
+
+func TestInsertDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 0).Insert(0, geom.Point{1})
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := New(2, 4)
+	if tr.Height() != 1 {
+		t.Fatal("empty tree height 1")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i, p := range randPoints(rng, 200, 2) {
+		tr.Insert(i, p)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height %d too small for 200 pts fanout 4", tr.Height())
+	}
+}
+
+// invariantCheck walks the tree verifying structural invariants: every child
+// MBR is inside its parent's, leaf points are inside the leaf MBR, and node
+// occupancy respects the max bound.
+func invariantCheck(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node, depth int) int
+	walk = func(n *node, depth int) int {
+		if len(n.children) > tr.maxEntries || len(n.pts) > tr.maxEntries {
+			t.Fatalf("node exceeds maxEntries")
+		}
+		if n.leaf {
+			for _, p := range n.pts {
+				if !n.mbr.Contains(p) {
+					t.Fatalf("leaf MBR misses point")
+				}
+			}
+			return depth
+		}
+		if len(n.children) == 0 {
+			t.Fatalf("internal node without children")
+		}
+		d := -1
+		for _, c := range n.children {
+			if !n.mbr.ContainsMBR(c.mbr) {
+				t.Fatalf("parent MBR misses child MBR")
+			}
+			cd := walk(c, depth+1)
+			if d == -1 {
+				d = cd
+			} else if d != cd {
+				t.Fatalf("leaves at different depths: %d vs %d", d, cd)
+			}
+		}
+		return d
+	}
+	if tr.size > 0 {
+		walk(tr.root, 0)
+	}
+}
+
+func TestStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := New(3, 5)
+	for i, p := range randPoints(rng, 800, 3) {
+		tr.Insert(i, p)
+	}
+	invariantCheck(t, tr)
+	tr2 := BulkLoad(3, 5, randPoints(rng, 800, 3), nil)
+	invariantCheck(t, tr2)
+}
+
+// Property: for random point sets and random queries, insert-built and
+// bulk-loaded trees agree with brute force, strict and closed.
+func TestQuickSphereEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func() bool {
+		d := 1 + rng.Intn(4)
+		n := rng.Intn(120)
+		pts := randPoints(rng, n, d)
+		ins := New(d, 4+rng.Intn(8))
+		for i, p := range pts {
+			ins.Insert(i, p)
+		}
+		blk := BulkLoad(d, 4+rng.Intn(8), pts, nil)
+		if n == 0 {
+			return true
+		}
+		c := pts[rng.Intn(n)]
+		r := rng.Float64() * 60
+		strict := rng.Intn(2) == 0
+		want := bruteSphere(pts, c, r, strict)
+		return equalInts(collectSphere(ins, c, r, strict), want) &&
+			equalInts(collectSphere(blk, c, r, strict), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSphereReportsDistCalcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pts := randPoints(rng, 1000, 2)
+	tr := BulkLoad(2, 16, pts, nil)
+	// A tiny query near one point should visit far fewer than all points.
+	calls := tr.Sphere(pts[0], 0.5, true, nil)
+	if calls <= 0 || calls >= 600 {
+		t.Fatalf("distCalcs=%d; pruning appears broken", calls)
+	}
+}

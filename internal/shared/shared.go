@@ -1,0 +1,303 @@
+// Package shared implements the shared-memory parallel μDBSCAN the paper
+// lists as future work (§VII): one process, many cores, the same exact
+// clustering. The μR-tree is built once and then queried concurrently; the
+// cluster structure lives in a lock-striped concurrent union-find.
+//
+// Exactness under concurrency follows the same arguments as the sequential
+// algorithm plus one extra device: when a worker observes a neighbor whose
+// core flag is not (yet) set, the link is recorded in a per-worker deferred
+// list and re-examined after all core flags are final, so no core-core edge
+// can be lost to a stale read. Border assignment uses compare-and-swap
+// claims, so every border joins exactly one cluster; which one may vary
+// between runs, which the DBSCAN exactness criteria permit.
+package shared
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mc"
+	"mudbscan/internal/unionfind"
+)
+
+// Options tunes the shared-memory run; the zero value means defaults.
+type Options struct {
+	// Workers is the number of goroutines (default GOMAXPROCS).
+	Workers int
+	// Fanout is the μR-tree node capacity.
+	Fanout int
+}
+
+// Stats reports the work performed.
+type Stats struct {
+	NumMCs       int
+	Queries      int64
+	QueriesSaved int64
+	Workers      int
+}
+
+// Run clusters pts with the multi-core μDBSCAN and returns the exact DBSCAN
+// result.
+func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.Result, *Stats) {
+	n := len(pts)
+	st := &Stats{}
+	if n == 0 {
+		return &clustering.Result{}, st
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st.Workers = workers
+
+	ix := mc.Build(pts, eps, minPts, mc.Options{Fanout: opts.Fanout})
+	st.NumMCs = ix.NumMCs()
+
+	s := &state{
+		pts: pts, eps: eps, minPts: minPts, ix: ix,
+		uf:       unionfind.NewConcurrent(n),
+		core:     make([]atomic.Bool, n),
+		wndq:     make([]atomic.Bool, n),
+		assigned: make([]atomic.Bool, n),
+	}
+
+	// Phase 1: preliminary clusters from DMC/CMC, parallel over MCs.
+	parallelFor(workers, len(ix.MCs), func(w, i int) {
+		z := ix.MCs[i]
+		if z.Kind == mc.SMC {
+			return
+		}
+		center := int32(z.CenterID)
+		s.markWndq(w, center)
+		if z.Kind == mc.DMC {
+			for _, q := range z.InnerIDs {
+				s.markWndq(w, q)
+			}
+		}
+		for _, p := range z.Members {
+			if p != center {
+				s.linkFromCore(w, center, p)
+			}
+		}
+	})
+
+	// Phase 2: neighborhood queries for points not proven core, parallel.
+	var queries int64
+	parallelFor(workers, n, func(w, i int) {
+		if s.wndq[i].Load() {
+			return
+		}
+		atomic.AddInt64(&queries, 1)
+		s.processPoint(w, i)
+	})
+	st.Queries = queries
+	st.QueriesSaved = int64(n) - queries
+
+	// Phase 3: deferred links — all core flags are final now, so any stale
+	// observation is resolved.
+	deferred := collect(s.deferred)
+	parallelFor(workers, len(deferred), func(_, i int) {
+		d := deferred[i]
+		if s.core[d[1]].Load() {
+			s.uf.Union(int(d[0]), int(d[1]))
+		}
+	})
+
+	// Phase 4: post-process wndq cores (Algorithm 7).
+	wndqList := collect(s.wndqLists)
+	parallelFor(workers, len(wndqList), func(_, k int) {
+		pid := wndqList[k]
+		p := pts[pid]
+		ix.VisitReachableMembers(p, int(pid), func(q int32) {
+			if q == pid || !s.core[q].Load() || s.uf.Same(int(pid), int(q)) {
+				return
+			}
+			if geom.Within(p, pts[q], eps) {
+				s.uf.Union(int(pid), int(q))
+			}
+		})
+	})
+
+	// Phase 5: noise rectification (Algorithm 8).
+	noise := collectNoise(s.noiseLists)
+	parallelFor(workers, len(noise), func(_, k int) {
+		e := noise[k]
+		if s.core[e.id].Load() {
+			return
+		}
+		for _, q := range e.nbhd {
+			if s.core[q].Load() {
+				if s.assigned[e.id].CompareAndSwap(false, true) {
+					s.uf.Union(int(q), int(e.id))
+				}
+				break
+			}
+		}
+	})
+
+	frozen := s.uf.Freeze()
+	comp := make([]int, n)
+	coreFlags := make([]bool, n)
+	for i := range comp {
+		comp[i] = frozen.Find(i)
+		coreFlags[i] = s.core[i].Load()
+	}
+	return clustering.FromUnionLabels(comp, coreFlags), st
+}
+
+type noiseEntry struct {
+	id   int32
+	nbhd []int32
+}
+
+type state struct {
+	pts    []geom.Point
+	eps    float64
+	minPts int
+	ix     *mc.Index
+	uf     *unionfind.Concurrent
+
+	core     []atomic.Bool
+	wndq     []atomic.Bool
+	assigned []atomic.Bool
+
+	mu         sync.Mutex
+	wndqLists  [][]int32
+	deferred   [][][2]int32
+	noiseLists [][]noiseEntry
+}
+
+// perWorker returns worker w's slice of a lazily-grown per-worker store.
+func perWorker[T any](mu *sync.Mutex, store *[][]T, w int) *[]T {
+	mu.Lock()
+	for len(*store) <= w {
+		*store = append(*store, nil)
+	}
+	s := &(*store)[w]
+	mu.Unlock()
+	return s
+}
+
+func (s *state) markWndq(w int, id int32) {
+	if s.core[id].Swap(true) {
+		return
+	}
+	s.wndq[id].Store(true)
+	lst := perWorker(&s.mu, &s.wndqLists, w)
+	*lst = append(*lst, id)
+}
+
+// linkFromCore unions core point c with q, claiming q as a border via CAS
+// when q is not known core; the link is also deferred so that a stale
+// non-core observation of a true core cannot lose the edge.
+func (s *state) linkFromCore(w int, c, q int32) {
+	if s.core[q].Load() {
+		s.uf.Union(int(c), int(q))
+		return
+	}
+	if s.assigned[q].CompareAndSwap(false, true) {
+		s.uf.Union(int(c), int(q))
+		return
+	}
+	d := perWorker(&s.mu, &s.deferred, w)
+	*d = append(*d, [2]int32{c, q})
+}
+
+func (s *state) processPoint(w, i int) {
+	p := s.pts[i]
+	half2 := (s.eps / 2) * (s.eps / 2)
+	var nbhd []int32
+	var inner []bool
+	innerCount := 0
+	s.ix.EpsNeighborhood(p, i, func(id int, pt geom.Point) {
+		nbhd = append(nbhd, int32(id))
+		in := geom.DistSq(p, pt) < half2
+		inner = append(inner, in)
+		if in {
+			innerCount++
+		}
+	})
+
+	if len(nbhd) < s.minPts {
+		if s.assigned[i].Load() {
+			return
+		}
+		for _, q := range nbhd {
+			if s.core[q].Load() {
+				if s.assigned[i].CompareAndSwap(false, true) {
+					s.uf.Union(int(q), i)
+				}
+				return
+			}
+		}
+		lst := perWorker(&s.mu, &s.noiseLists, w)
+		*lst = append(*lst, noiseEntry{id: int32(i), nbhd: nbhd})
+		return
+	}
+
+	s.core[i].Store(true)
+	if innerCount >= s.minPts {
+		for k, q := range nbhd {
+			if inner[k] && int(q) != i && !s.core[q].Load() {
+				s.markWndq(w, q)
+			}
+		}
+	}
+	for _, q := range nbhd {
+		if int(q) != i {
+			s.linkFromCore(w, int32(i), q)
+		}
+	}
+}
+
+func collect[T any](lists [][]T) []T {
+	var out []T
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+func collectNoise(lists [][]noiseEntry) []noiseEntry {
+	var out []noiseEntry
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// parallelFor runs fn(worker, i) for i in [0, n) across the given workers.
+func parallelFor(workers, n int, fn func(w, i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var wg sync.WaitGroup
+	const chunk = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				start := atomic.AddInt64(&next, chunk) - chunk
+				if start >= int64(n) {
+					return
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(w, int(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

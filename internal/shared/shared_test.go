@@ -1,0 +1,118 @@
+package shared
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/dbscan"
+	"mudbscan/internal/geom"
+)
+
+func blobs(rng *rand.Rand, n, d, k int, spread, noiseFrac float64) []geom.Point {
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		c := make(geom.Point, d)
+		for j := range c {
+			c[j] = rng.Float64() * 20
+		}
+		centers[i] = c
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		if rng.Float64() < noiseFrac {
+			for j := range p {
+				p[j] = rng.Float64() * 20
+			}
+		} else {
+			c := centers[rng.Intn(k)]
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*spread
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestExactAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobs(rng, 1000, 3, 4, 0.3, 0.2)
+	eps, minPts := 0.45, 5
+	want, _ := dbscan.Brute(pts, eps, minPts)
+	for _, w := range []int{1, 2, 4, 8} {
+		got, st := Run(pts, eps, minPts, Options{Workers: w})
+		if err := got.Validate(); err != nil {
+			t.Fatalf("w=%d invalid: %v", w, err)
+		}
+		if err := clustering.Equivalent(want, got); err != nil {
+			t.Fatalf("w=%d not exact: %v", w, err)
+		}
+		if err := clustering.CheckBorders(pts, eps, got); err != nil {
+			t.Fatalf("w=%d bad border: %v", w, err)
+		}
+		if st.Workers != w {
+			t.Fatalf("Workers=%d want %d", st.Workers, w)
+		}
+		if st.Queries+st.QueriesSaved != int64(len(pts)) {
+			t.Fatalf("w=%d queries %d + saved %d != n", w, st.Queries, st.QueriesSaved)
+		}
+	}
+}
+
+func TestRepeatedRunsStayExact(t *testing.T) {
+	// Scheduling nondeterminism must never change the exact clustering.
+	rng := rand.New(rand.NewSource(2))
+	pts := blobs(rng, 800, 2, 3, 0.25, 0.25)
+	eps, minPts := 0.5, 4
+	want, _ := dbscan.Brute(pts, eps, minPts)
+	for trial := 0; trial < 10; trial++ {
+		got, _ := Run(pts, eps, minPts, Options{Workers: 8})
+		if err := clustering.Equivalent(want, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSavesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := blobs(rng, 3000, 2, 3, 0.15, 0.05)
+	_, st := Run(pts, 0.5, 5, Options{Workers: 4})
+	if st.QueriesSaved == 0 {
+		t.Fatal("dense blobs should save queries")
+	}
+	if st.NumMCs == 0 {
+		t.Fatal("NumMCs not reported")
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	r, _ := Run(nil, 1, 5, Options{})
+	if len(r.Labels) != 0 {
+		t.Fatal("empty should give empty result")
+	}
+	r, _ = Run([]geom.Point{{1, 1}}, 1, 5, Options{Workers: 4})
+	if r.Labels[0] != clustering.Noise {
+		t.Fatal("single point must be noise")
+	}
+}
+
+func TestQuickExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := 50 + rng.Intn(300)
+		d := 1 + rng.Intn(3)
+		pts := blobs(rng, n, d, 1+rng.Intn(3), 0.2+rng.Float64()*0.4, rng.Float64()*0.4)
+		eps := 0.3 + rng.Float64()*0.6
+		minPts := 2 + rng.Intn(5)
+		want, _ := dbscan.Brute(pts, eps, minPts)
+		got, _ := Run(pts, eps, minPts, Options{Workers: 1 + rng.Intn(8)})
+		return clustering.Equivalent(want, got) == nil &&
+			clustering.CheckBorders(pts, eps, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

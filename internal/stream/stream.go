@@ -1,0 +1,359 @@
+// Package stream adapts μDBSCAN's micro-cluster machinery to unbounded data
+// streams — the extension the paper names as future work (§VII, "this
+// approach can also be adopted to fast clustering of data streams").
+//
+// Points are absorbed into micro-clusters exactly as in the batch algorithm
+// (nearest center strictly within ε, else a new MC), but instead of point
+// lists each MC keeps decayed weights: a total weight and an inner-circle
+// (ε/2) weight. With decay rate λ > 0 the window is damped (recent points
+// dominate, stale MCs are pruned); with λ = 0 it is a landmark window.
+//
+// Snapshot produces a clustering at micro-cluster granularity: an MC whose
+// (inner) weight reaches MinPts is core — the streaming analogue of the
+// CMC/DMC rules — and core MCs whose centers lie within 2ε are connected,
+// since their ε-balls overlap. Unlike the batch modes this is approximate
+// (cluster boundaries are resolved to MC granularity), which is inherent to
+// single-pass stream clustering.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/unionfind"
+)
+
+// Options tunes the stream clusterer; the zero value is a landmark window.
+type Options struct {
+	// Lambda is the exponential decay rate per time unit: an MC's weight
+	// halves every ln(2)/Lambda time units without updates. 0 disables
+	// decay.
+	Lambda float64
+	// PruneBelow drops micro-clusters whose decayed weight falls under this
+	// threshold during maintenance (default 0.1 when Lambda > 0).
+	PruneBelow float64
+	// MaintenanceEvery is the number of insertions between prune passes
+	// (default 1024).
+	MaintenanceEvery int
+}
+
+// MC is one streaming micro-cluster summary.
+type MC struct {
+	ID     int
+	Center geom.Point
+	// Weight is the decayed point weight absorbed by this MC.
+	Weight float64
+	// InnerWeight is the decayed weight of points strictly within ε/2 of
+	// the center (the streaming inner circle).
+	InnerWeight float64
+	// LastUpdate is the logical time of the last absorption.
+	LastUpdate float64
+}
+
+// Clusterer ingests a stream of points and maintains micro-cluster
+// summaries. Not safe for concurrent use.
+type Clusterer struct {
+	eps    float64
+	minPts int
+	dim    int
+	opts   Options
+
+	now      float64
+	inserted int
+	nextID   int
+	mcs      map[int]*MC
+	// grid indexes MC centers by ε-sided cell for nearest-center lookup in
+	// low dimension; in high dimension the candidate enumeration would be
+	// exponential, so a linear scan over centers is used instead.
+	grid    map[string][]int
+	useGrid bool
+
+	// Pruned counts micro-clusters dropped by decay maintenance.
+	Pruned int
+}
+
+const gridDimLimit = 6
+
+// New creates a stream clusterer for dim-dimensional points.
+func New(dim int, eps float64, minPts int, opts Options) (*Clusterer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("stream: dim must be positive")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("stream: eps must be positive")
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("stream: minPts must be at least 1")
+	}
+	if opts.Lambda < 0 {
+		return nil, fmt.Errorf("stream: lambda must be non-negative")
+	}
+	if opts.Lambda > 0 && opts.PruneBelow <= 0 {
+		opts.PruneBelow = 0.1
+	}
+	if opts.MaintenanceEvery <= 0 {
+		opts.MaintenanceEvery = 1024
+	}
+	return &Clusterer{
+		eps: eps, minPts: minPts, dim: dim, opts: opts,
+		mcs:     make(map[int]*MC),
+		grid:    make(map[string][]int),
+		useGrid: dim <= gridDimLimit,
+	}, nil
+}
+
+// Len returns the current number of micro-clusters.
+func (c *Clusterer) Len() int { return len(c.mcs) }
+
+// Inserted returns the number of points absorbed so far.
+func (c *Clusterer) Inserted() int { return c.inserted }
+
+// Add absorbs p at the next logical timestamp (one unit per insertion).
+func (c *Clusterer) Add(p []float64) error {
+	return c.AddAt(p, c.now+1)
+}
+
+// AddAt absorbs p at time t. Timestamps must be non-decreasing.
+func (c *Clusterer) AddAt(p []float64, t float64) error {
+	if len(p) != c.dim {
+		return fmt.Errorf("stream: point has dim %d, want %d", len(p), c.dim)
+	}
+	if t < c.now {
+		return fmt.Errorf("stream: timestamp %g precedes current time %g", t, c.now)
+	}
+	c.now = t
+	pt := geom.Point(p)
+
+	m := c.nearestMC(pt)
+	if m == nil {
+		m = &MC{ID: c.nextID, Center: pt.Clone(), LastUpdate: t}
+		c.nextID++
+		c.mcs[m.ID] = m
+		if c.useGrid {
+			k := c.cellKey(m.Center)
+			c.grid[k] = append(c.grid[k], m.ID)
+		}
+	}
+	c.decayMC(m, t)
+	m.Weight++
+	if geom.Within(pt, m.Center, c.eps/2) && !pt.Equal(m.Center) {
+		m.InnerWeight++
+	}
+	m.LastUpdate = t
+
+	c.inserted++
+	if c.opts.Lambda > 0 && c.inserted%c.opts.MaintenanceEvery == 0 {
+		c.maintain()
+	}
+	return nil
+}
+
+// nearestMC returns the micro-cluster whose center is nearest to p among
+// those strictly within ε, or nil.
+func (c *Clusterer) nearestMC(p geom.Point) *MC {
+	var best *MC
+	bestD := c.eps * c.eps
+	consider := func(m *MC) {
+		d := geom.DistSq(p, m.Center)
+		if d < bestD || (d == bestD && best != nil && m.ID < best.ID) {
+			bestD, best = d, m
+		}
+	}
+	if !c.useGrid {
+		for _, m := range c.mcs {
+			consider(m)
+		}
+		return best
+	}
+	c.visitNeighborCells(p, func(id int) {
+		consider(c.mcs[id])
+	})
+	return best
+}
+
+// cellKey hashes a point to its ε-sided grid cell.
+func (c *Clusterer) cellKey(p geom.Point) string {
+	b := make([]byte, 0, 8*c.dim)
+	for _, v := range p {
+		cell := int32(math.Floor(v / c.eps))
+		b = append(b, byte(cell), byte(cell>>8), byte(cell>>16), byte(cell>>24))
+	}
+	return string(b)
+}
+
+// visitNeighborCells enumerates MC ids in the 3^d cells around p.
+func (c *Clusterer) visitNeighborCells(p geom.Point, fn func(id int)) {
+	coords := make([]int32, c.dim)
+	for i, v := range p {
+		coords[i] = int32(math.Floor(v / c.eps))
+	}
+	cur := make([]int32, c.dim)
+	for i := range cur {
+		cur[i] = coords[i] - 1
+	}
+	for {
+		b := make([]byte, 0, 4*c.dim)
+		for _, cell := range cur {
+			b = append(b, byte(cell), byte(cell>>8), byte(cell>>16), byte(cell>>24))
+		}
+		for _, id := range c.grid[string(b)] {
+			fn(id)
+		}
+		i := 0
+		for ; i < c.dim; i++ {
+			cur[i]++
+			if cur[i] <= coords[i]+1 {
+				break
+			}
+			cur[i] = coords[i] - 1
+		}
+		if i == c.dim {
+			return
+		}
+	}
+}
+
+// decayMC applies the exponential decay since the MC's last update.
+func (c *Clusterer) decayMC(m *MC, t float64) {
+	if c.opts.Lambda == 0 || t <= m.LastUpdate {
+		return
+	}
+	f := math.Exp(-c.opts.Lambda * (t - m.LastUpdate))
+	m.Weight *= f
+	m.InnerWeight *= f
+	m.LastUpdate = t
+}
+
+// maintain decays every MC to the current time and prunes the feather-weight
+// ones.
+func (c *Clusterer) maintain() {
+	for id, m := range c.mcs {
+		c.decayMC(m, c.now)
+		if m.Weight < c.opts.PruneBelow {
+			delete(c.mcs, id)
+			c.Pruned++
+			if c.useGrid {
+				k := c.cellKey(m.Center)
+				ids := c.grid[k]
+				for i, v := range ids {
+					if v == id {
+						c.grid[k] = append(ids[:i], ids[i+1:]...)
+						break
+					}
+				}
+				if len(c.grid[k]) == 0 {
+					delete(c.grid, k)
+				}
+			}
+		}
+	}
+}
+
+// Snapshot is a point-in-time clustering of the micro-cluster summary.
+type Snapshot struct {
+	eps float64
+	// MCs holds the live micro-clusters, decayed to snapshot time.
+	MCs []MC
+	// Labels[i] is the cluster of MCs[i], or -1 for non-core MCs not
+	// adjacent to any core MC.
+	Labels []int
+	// NumClusters counts the clusters.
+	NumClusters int
+}
+
+// Snapshot clusters the current micro-cluster summary: core MCs (weight or
+// inner weight at least MinPts) connect when their centers are within 2ε;
+// non-core MCs attach to the nearest core within 2ε.
+func (c *Clusterer) Snapshot() *Snapshot {
+	s := &Snapshot{eps: c.eps}
+	ids := make([]int, 0, len(c.mcs))
+	for id := range c.mcs {
+		ids = append(ids, id)
+	}
+	// Deterministic order.
+	sort.Ints(ids)
+	index := make(map[int]int, len(ids))
+	for i, id := range ids {
+		m := c.mcs[id]
+		c.decayMC(m, c.now)
+		s.MCs = append(s.MCs, *m)
+		index[id] = i
+	}
+	n := len(s.MCs)
+	coreMC := make([]bool, n)
+	for i := range s.MCs {
+		m := &s.MCs[i]
+		coreMC[i] = m.Weight >= float64(c.minPts) || m.InnerWeight >= float64(c.minPts)
+	}
+	uf := unionfind.New(n)
+	link := 2 * c.eps
+	for i := 0; i < n; i++ {
+		if !coreMC[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if !coreMC[j] {
+				continue
+			}
+			if geom.WithinClosed(s.MCs[i].Center, s.MCs[j].Center, link) {
+				uf.Union(i, j)
+			}
+		}
+	}
+	s.Labels = make([]int, n)
+	labelOf := make(map[int]int)
+	next := 0
+	for i := range s.Labels {
+		s.Labels[i] = -1
+		if !coreMC[i] {
+			continue
+		}
+		r := uf.Find(i)
+		l, ok := labelOf[r]
+		if !ok {
+			l = next
+			labelOf[r] = l
+			next++
+		}
+		s.Labels[i] = l
+	}
+	// Attach non-core MCs to the nearest core within the linking range.
+	for i := range s.Labels {
+		if coreMC[i] {
+			continue
+		}
+		bestD := math.Inf(1)
+		for j := range s.MCs {
+			if !coreMC[j] {
+				continue
+			}
+			d := geom.DistSq(s.MCs[i].Center, s.MCs[j].Center)
+			if d <= link*link && d < bestD {
+				bestD = d
+				s.Labels[i] = s.Labels[j]
+			}
+		}
+	}
+	s.NumClusters = next
+	return s
+}
+
+// Assign returns the snapshot cluster for an arbitrary point: the label of
+// the nearest micro-cluster whose center is strictly within ε, or -1.
+func (s *Snapshot) Assign(p []float64) int {
+	best := -1
+	bestD := s.eps * s.eps
+	for i := range s.MCs {
+		d := geom.DistSq(geom.Point(p), s.MCs[i].Center)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	if best == -1 {
+		return -1
+	}
+	return s.Labels[best]
+}

@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func feed(t *testing.T, c *Clusterer, rng *rand.Rand, n int, cx, cy, spread float64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		p := []float64{cx + rng.NormFloat64()*spread, cy + rng.NormFloat64()*spread}
+		if err := c.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 1, 5, Options{}); err == nil {
+		t.Error("dim 0 should error")
+	}
+	if _, err := New(2, 0, 5, Options{}); err == nil {
+		t.Error("eps 0 should error")
+	}
+	if _, err := New(2, 1, 0, Options{}); err == nil {
+		t.Error("minPts 0 should error")
+	}
+	if _, err := New(2, 1, 5, Options{Lambda: -1}); err == nil {
+		t.Error("negative lambda should error")
+	}
+	c, err := New(2, 1, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add([]float64{1}); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	if err := c.AddAt([]float64{1, 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddAt([]float64{1, 2}, 1); err == nil {
+		t.Error("time going backwards should error")
+	}
+}
+
+func TestTwoStreamsTwoClusters(t *testing.T) {
+	c, err := New(2, 0.5, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	feed(t, c, rng, 2000, 0, 0, 0.3)
+	feed(t, c, rng, 2000, 20, 20, 0.3)
+	if c.Inserted() != 4000 {
+		t.Fatalf("Inserted=%d", c.Inserted())
+	}
+	if c.Len() == 0 || c.Len() > 2000 {
+		t.Fatalf("MC count %d implausible", c.Len())
+	}
+	s := c.Snapshot()
+	if s.NumClusters != 2 {
+		t.Fatalf("clusters=%d want 2", s.NumClusters)
+	}
+	a := s.Assign([]float64{0.1, -0.1})
+	b := s.Assign([]float64{20.1, 19.9})
+	if a == -1 || b == -1 || a == b {
+		t.Fatalf("assignments a=%d b=%d", a, b)
+	}
+	if s.Assign([]float64{10, 10}) != -1 {
+		t.Fatal("empty region should assign noise")
+	}
+}
+
+func TestLandmarkWindowNeverForgets(t *testing.T) {
+	c, _ := New(2, 0.5, 10, Options{})
+	rng := rand.New(rand.NewSource(2))
+	feed(t, c, rng, 1000, 0, 0, 0.2)
+	feed(t, c, rng, 5000, 30, 30, 0.2)
+	s := c.Snapshot()
+	if s.NumClusters != 2 {
+		t.Fatalf("landmark window lost a cluster: %d", s.NumClusters)
+	}
+	if c.Pruned != 0 {
+		t.Fatalf("landmark window pruned %d MCs", c.Pruned)
+	}
+}
+
+func TestDampedWindowForgets(t *testing.T) {
+	c, _ := New(2, 0.5, 10, Options{Lambda: 0.01, MaintenanceEvery: 256})
+	rng := rand.New(rand.NewSource(3))
+	feed(t, c, rng, 1000, 0, 0, 0.2)
+	// A long quiet drift to a new region: the old cluster decays away.
+	feed(t, c, rng, 20000, 30, 30, 0.2)
+	s := c.Snapshot()
+	if s.NumClusters != 1 {
+		t.Fatalf("damped window should forget the old cluster, got %d", s.NumClusters)
+	}
+	if s.Assign([]float64{0, 0}) != -1 {
+		t.Fatal("stale region should no longer assign")
+	}
+	if c.Pruned == 0 {
+		t.Fatal("expected pruned micro-clusters under decay")
+	}
+}
+
+func TestMCInvariants(t *testing.T) {
+	c, _ := New(3, 0.8, 5, Options{})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		p := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		if err := c.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Snapshot()
+	var totalWeight float64
+	for i := range s.MCs {
+		m := &s.MCs[i]
+		totalWeight += m.Weight
+		if m.InnerWeight > m.Weight {
+			t.Fatalf("MC %d inner weight exceeds total", m.ID)
+		}
+	}
+	if totalWeight < 2999.5 || totalWeight > 3000.5 {
+		t.Fatalf("landmark weights should sum to n, got %g", totalWeight)
+	}
+}
+
+func TestHighDimFallsBackToLinearScan(t *testing.T) {
+	c, _ := New(16, 5, 5, Options{})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		p := make([]float64, 16)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		if err := c.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Snapshot()
+	if s.NumClusters != 1 {
+		t.Fatalf("one dense gaussian should be one cluster, got %d", s.NumClusters)
+	}
+}
+
+func TestDeterministicSnapshots(t *testing.T) {
+	mk := func() *Snapshot {
+		c, _ := New(2, 0.5, 8, Options{})
+		rng := rand.New(rand.NewSource(6))
+		feed(t, c, rng, 1500, 0, 0, 0.4)
+		feed(t, c, rng, 1500, 15, 15, 0.4)
+		return c.Snapshot()
+	}
+	a, b := mk(), mk()
+	if a.NumClusters != b.NumClusters || len(a.MCs) != len(b.MCs) {
+		t.Fatal("snapshots differ across identical runs")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical runs")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package unionfind
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrent is a disjoint-set forest safe for concurrent Union and Find.
+// It uses lock striping: each Union locks the (ordered) roots' stripes, so
+// distinct subtrees proceed in parallel. Finds are atomic-load walks of
+// parent pointers that may observe slightly stale roots but always converge,
+// because parent pointers only ever move toward roots.
+type Concurrent struct {
+	parent  []int32
+	stripes []sync.Mutex
+	mask    int32
+}
+
+// NewConcurrent returns a concurrent disjoint-set forest over 0..n-1.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{
+		parent:  make([]int32, n),
+		stripes: make([]sync.Mutex, 256),
+		mask:    255,
+	}
+	for i := range c.parent {
+		c.parent[i] = int32(i)
+	}
+	return c
+}
+
+// Len returns the number of elements.
+func (c *Concurrent) Len() int { return len(c.parent) }
+
+// find walks to the root without locking.
+func (c *Concurrent) find(x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&c.parent[x])
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+// Find returns a representative of x's set. When called concurrently with
+// Union the result may be superseded, but after all unions complete it is
+// exact.
+func (c *Concurrent) Find(x int) int { return int(c.find(int32(x))) }
+
+// Union merges the sets containing x and y. Safe for concurrent use.
+func (c *Concurrent) Union(x, y int) {
+	rx, ry := c.find(int32(x)), c.find(int32(y))
+	for rx != ry {
+		// Lock the two roots in address order to avoid deadlock.
+		lo, hi := rx, ry
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		sl, sh := &c.stripes[lo&c.mask], &c.stripes[hi&c.mask]
+		sl.Lock()
+		if sl != sh {
+			sh.Lock()
+		}
+		// Re-validate roots under the locks.
+		if atomic.LoadInt32(&c.parent[rx]) == rx && atomic.LoadInt32(&c.parent[ry]) == ry {
+			// Attach the larger index under the smaller for determinism.
+			if rx < ry {
+				atomic.StoreInt32(&c.parent[ry], rx)
+			} else {
+				atomic.StoreInt32(&c.parent[rx], ry)
+			}
+			if sl != sh {
+				sh.Unlock()
+			}
+			sl.Unlock()
+			return
+		}
+		if sl != sh {
+			sh.Unlock()
+		}
+		sl.Unlock()
+		rx, ry = c.find(rx), c.find(ry)
+	}
+}
+
+// Same reports whether x and y are currently in the same set. Exact only
+// after all concurrent unions have completed.
+func (c *Concurrent) Same(x, y int) bool {
+	for {
+		rx, ry := c.find(int32(x)), c.find(int32(y))
+		if rx == ry {
+			return true
+		}
+		// rx may have been superseded between the two finds; confirm it is
+		// still a root, otherwise retry.
+		if atomic.LoadInt32(&c.parent[rx]) == rx {
+			return false
+		}
+	}
+}
+
+// Freeze compresses all paths and returns a sequential UF view with identical
+// set structure. Call only after all concurrent operations have completed.
+func (c *Concurrent) Freeze() *UF {
+	u := New(len(c.parent))
+	for i := range c.parent {
+		r := int(c.find(int32(i)))
+		if r != i {
+			u.Union(i, r)
+		}
+	}
+	return u
+}

@@ -1,0 +1,133 @@
+package mudbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/data"
+)
+
+// Metamorphic properties of DBSCAN: rigid motions of the data leave the
+// clustering untouched, and scaling the data together with ε does too.
+// These catch subtle coordinate-handling bugs that example-based tests
+// cannot.
+
+func transform(points [][]float64, scale float64, shift []float64) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		q := make([]float64, len(p))
+		for j, v := range p {
+			q[j] = v*scale + shift[j]
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	rows := toRows(data.Blobs(800, 3, 4, 0.3, 0.2, 17))
+	eps, minPts := 0.5, 5
+	base, err := Cluster(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shift := range [][]float64{{100, -50, 3}, {-1e4, 1e4, 0.5}} {
+		moved := transform(rows, 1, shift)
+		got, err := Cluster(moved, eps, minPts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clustering.Equivalent(base, got); err != nil {
+			t.Fatalf("translation %v changed the clustering: %v", shift, err)
+		}
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	rows := toRows(data.Blobs(800, 2, 3, 0.3, 0.2, 19))
+	eps, minPts := 0.5, 5
+	base, err := Cluster(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Powers of two scale losslessly in floating point, so the exact
+	// boundary comparisons are preserved bit-for-bit.
+	for _, s := range []float64{0.0009765625, 8, 4096} {
+		scaled := transform(rows, s, []float64{0, 0})
+		got, err := Cluster(scaled, eps*s, minPts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clustering.Equivalent(base, got); err != nil {
+			t.Fatalf("scale %g changed the clustering: %v", s, err)
+		}
+	}
+}
+
+func TestAxisPermutationInvariance(t *testing.T) {
+	rows := toRows(data.Blobs(600, 3, 3, 0.3, 0.2, 23))
+	eps, minPts := 0.5, 5
+	base, err := Cluster(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := make([][]float64, len(rows))
+	for i, p := range rows {
+		swapped[i] = []float64{p[2], p[0], p[1]}
+	}
+	got, err := Cluster(swapped, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clustering.Equivalent(base, got); err != nil {
+		t.Fatalf("axis permutation changed the clustering: %v", err)
+	}
+}
+
+func TestDuplicatedDatasetDoublesDensity(t *testing.T) {
+	// Appending an exact copy of every point can only promote points
+	// (neighborhood sizes double): no former core may become border/noise.
+	rows := toRows(data.Blobs(300, 2, 3, 0.3, 0.3, 29))
+	eps, minPts := 0.5, 5
+	base, err := Cluster(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := append(append([][]float64{}, rows...), rows...)
+	got, err := Cluster(doubled, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if base.Core[i] && !got.Core[i] {
+			t.Fatalf("point %d lost core status after densification", i)
+		}
+		if base.Labels[i] != clustering.Noise && got.Labels[i] == clustering.Noise {
+			t.Fatalf("point %d fell to noise after densification", i)
+		}
+		// Twin copies must agree on core status.
+		if got.Core[i] != got.Core[i+len(rows)] {
+			t.Fatalf("point %d and its twin disagree on core status", i)
+		}
+	}
+}
+
+func TestDistributedMatchesSequentialOnTransformedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := toRows(data.Blobs(700, 3, 4, 0.3, 0.2, 31))
+	shift := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	moved := transform(rows, 3, shift)
+	eps, minPts := 1.5, 5
+	seq, err := Cluster(moved, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := ClusterDistributed(moved, eps, minPts, 8, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clustering.Equivalent(seq, par); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package mudbscan is an exact, scalable DBSCAN library — a from-scratch Go
+// implementation of "μDBSCAN: An Exact Scalable DBSCAN Algorithm for Big
+// Data Exploiting Spatial Locality" (Sarma et al., IEEE CLUSTER 2019).
+//
+// μDBSCAN groups points into micro-clusters (ε-radius hyper-spheres around
+// data points) indexed in a two-level μR-tree. Dense micro-clusters prove
+// most points core *without* running their ε-neighborhood queries (43–96%
+// of queries saved on the paper's workloads), and the remaining queries are
+// confined to the few reachable micro-clusters within 3ε. The produced
+// clustering is exactly that of textbook DBSCAN: the same core points, the
+// same partition of core points into clusters, the same number of clusters
+// and the same noise set.
+//
+// Three execution modes share the same exact semantics:
+//
+//   - Cluster: sequential μDBSCAN.
+//   - ClusterParallel: multi-core shared-memory μDBSCAN.
+//   - ClusterDistributed: μDBSCAN-D over simulated message-passing ranks
+//     (spatial kd partitioning, ε-halo exchange, local clustering, query-free
+//     merge).
+//
+// The usual entry point:
+//
+//	result, err := mudbscan.Cluster(points, eps, minPts)
+//	for i, label := range result.Labels {
+//	    // label == mudbscan.Noise or a cluster id in [0, result.NumClusters)
+//	}
+package mudbscan
+
+import (
+	"fmt"
+	"math"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/dist"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/shared"
+)
+
+// Result is a clustering outcome: Labels[i] is the cluster of point i
+// (Noise for noise points), Core[i] reports core-point status, and
+// NumClusters counts the clusters.
+type Result = clustering.Result
+
+// Noise is the label assigned to noise points.
+const Noise = clustering.Noise
+
+// SeqStats reports the work a sequential run performed: micro-cluster
+// count, queries executed and saved, distance calculations, and the
+// wall-clock split over the algorithm's four steps.
+type SeqStats = core.Stats
+
+// ParStats reports the work of a shared-memory parallel run.
+type ParStats = shared.Stats
+
+// DistStats reports the work and communication of a distributed run.
+type DistStats = dist.Stats
+
+// config collects the option knobs.
+type config struct {
+	fanout      int
+	disableWndq bool
+	workers     int
+	sampleSize  int
+	seed        int64
+}
+
+// Option customizes a clustering run.
+type Option func(*config)
+
+// WithRTreeFanout sets the node capacity of both μR-tree levels
+// (default 16).
+func WithRTreeFanout(m int) Option { return func(c *config) { c.fanout = m } }
+
+// WithoutQueryReduction disables core identification without queries; every
+// point is queried, as in classic DBSCAN. The result is unchanged, only
+// slower — this knob exists for measurement.
+func WithoutQueryReduction() Option { return func(c *config) { c.disableWndq = true } }
+
+// WithWorkers sets the goroutine count for ClusterParallel
+// (default GOMAXPROCS).
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithSampleSize sets the per-rank sample size for the sampling-based
+// median partitioning of ClusterDistributed (default 0 = exact medians).
+func WithSampleSize(s int) Option { return func(c *config) { c.sampleSize = s } }
+
+// WithSeed seeds the partitioning sampler of ClusterDistributed.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// validate checks the inputs shared by all entry points and converts the
+// point rows into the internal representation without copying coordinates.
+func validate(points [][]float64, eps float64, minPts int) ([]geom.Point, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mudbscan: eps must be a positive finite number, got %g", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("mudbscan: minPts must be at least 1, got %d", minPts)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("mudbscan: points must have at least one dimension")
+	}
+	pts := make([]geom.Point, len(points))
+	for i, row := range points {
+		if len(row) != dim {
+			return nil, fmt.Errorf("mudbscan: point %d has %d coordinates, want %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("mudbscan: point %d coordinate %d is not finite", i, j)
+			}
+		}
+		pts[i] = geom.Point(row)
+	}
+	return pts, nil
+}
+
+// Cluster runs sequential μDBSCAN and returns the exact DBSCAN clustering
+// of points under the given ε and MinPts.
+func Cluster(points [][]float64, eps float64, minPts int, opts ...Option) (*Result, error) {
+	r, _, err := ClusterWithStats(points, eps, minPts, opts...)
+	return r, err
+}
+
+// ClusterWithStats is Cluster plus the run's work statistics.
+func ClusterWithStats(points [][]float64, eps float64, minPts int, opts ...Option) (*Result, *SeqStats, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pts, err := validate(points, eps, minPts)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, st := core.Run(pts, eps, minPts, core.Options{
+		Fanout:      cfg.fanout,
+		DisableWndq: cfg.disableWndq,
+	})
+	return r, st, nil
+}
+
+// ClusterParallel runs the multi-core shared-memory μDBSCAN. The result is
+// exact; which cluster a border point joins may differ between runs (as
+// DBSCAN permits).
+func ClusterParallel(points [][]float64, eps float64, minPts int, opts ...Option) (*Result, *ParStats, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pts, err := validate(points, eps, minPts)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, st := shared.Run(pts, eps, minPts, shared.Options{
+		Workers: cfg.workers,
+		Fanout:  cfg.fanout,
+	})
+	return r, st, nil
+}
+
+// ClusterDistributed runs μDBSCAN-D over the given number of simulated
+// message-passing ranks (a power of two). The result is exact and identical
+// to Cluster's for every rank count.
+func ClusterDistributed(points [][]float64, eps float64, minPts, ranks int, opts ...Option) (*Result, *DistStats, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pts, err := validate(points, eps, minPts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ranks < 1 {
+		return nil, nil, fmt.Errorf("mudbscan: ranks must be at least 1, got %d", ranks)
+	}
+	return dist.MuDBSCAND(pts, eps, minPts, ranks, dist.Options{
+		SampleSize: cfg.sampleSize,
+		Seed:       cfg.seed,
+		Core:       core.Options{Fanout: cfg.fanout, DisableWndq: cfg.disableWndq},
+	})
+}

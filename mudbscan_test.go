@@ -1,0 +1,164 @@
+package mudbscan
+
+import (
+	"math"
+	"testing"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/data"
+	"mudbscan/internal/dbscan"
+	"mudbscan/internal/geom"
+)
+
+func toRows(pts []geom.Point) [][]float64 {
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = p
+	}
+	return rows
+}
+
+func TestClusterQuickstartShape(t *testing.T) {
+	points := [][]float64{
+		{1, 1}, {1.1, 1}, {1, 1.1}, {1.1, 1.1}, // cluster 0
+		{9, 9}, {9.1, 9}, {9, 9.1}, {9.1, 9.1}, // cluster 1
+		{5, 5}, // noise
+	}
+	r, err := Cluster(points, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumClusters != 2 {
+		t.Fatalf("NumClusters=%d want 2", r.NumClusters)
+	}
+	if r.Labels[8] != Noise {
+		t.Fatal("center point should be noise")
+	}
+	if r.Labels[0] == r.Labels[4] {
+		t.Fatal("the two squares must be distinct clusters")
+	}
+}
+
+func TestAllModesAgree(t *testing.T) {
+	pts := data.Blobs(1200, 3, 4, 0.3, 0.2, 42)
+	rows := toRows(pts)
+	eps, minPts := 0.45, 5
+
+	want, _ := dbscan.Brute(pts, eps, minPts)
+
+	seq, st, err := ClusterWithStats(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equiv(want, seq); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if st.NumMCs == 0 {
+		t.Fatal("stats not populated")
+	}
+
+	par, pst, err := ClusterParallel(rows, eps, minPts, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equiv(want, par); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if pst.Workers != 4 {
+		t.Fatalf("workers=%d", pst.Workers)
+	}
+
+	d, dst, err := ClusterDistributed(rows, eps, minPts, 4, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equiv(want, d); err != nil {
+		t.Fatalf("distributed: %v", err)
+	}
+	if dst.Ranks != 4 {
+		t.Fatalf("ranks=%d", dst.Ranks)
+	}
+}
+
+func equiv(a, b *Result) error { return clustering.Equivalent(a, b) }
+
+func TestOptionsApply(t *testing.T) {
+	pts := data.Blobs(800, 2, 3, 0.2, 0.1, 3)
+	rows := toRows(pts)
+	_, st1, err := ClusterWithStats(rows, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := ClusterWithStats(rows, 0.5, 5, WithoutQueryReduction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.QueriesSaved == 0 {
+		t.Fatal("default run should save queries on dense blobs")
+	}
+	if st2.QueriesSaved != 0 {
+		t.Fatal("WithoutQueryReduction must disable savings")
+	}
+	if _, _, err := ClusterWithStats(rows, 0.5, 5, WithRTreeFanout(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := [][]float64{{1, 2}, {3, 4}}
+	cases := []struct {
+		name   string
+		points [][]float64
+		eps    float64
+		minPts int
+	}{
+		{"zero eps", good, 0, 3},
+		{"negative eps", good, -1, 3},
+		{"NaN eps", good, math.NaN(), 3},
+		{"Inf eps", good, math.Inf(1), 3},
+		{"zero minPts", good, 1, 0},
+		{"dim mismatch", [][]float64{{1, 2}, {3}}, 1, 3},
+		{"empty point", [][]float64{{}}, 1, 3},
+		{"NaN coord", [][]float64{{1, math.NaN()}}, 1, 3},
+		{"Inf coord", [][]float64{{1, math.Inf(-1)}}, 1, 3},
+	}
+	for _, c := range cases {
+		if _, err := Cluster(c.points, c.eps, c.minPts); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, _, err := ClusterDistributed(good, 1, 3, 0); err == nil {
+		t.Error("zero ranks: expected error")
+	}
+	if _, _, err := ClusterDistributed(good, 1, 3, 3); err == nil {
+		t.Error("non-power-of-two ranks: expected error")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	r, err := Cluster(nil, 1, 3)
+	if err != nil || len(r.Labels) != 0 || r.NumClusters != 0 {
+		t.Fatalf("empty input: %v %v", r, err)
+	}
+	rp, _, err := ClusterParallel(nil, 1, 3)
+	if err != nil || len(rp.Labels) != 0 {
+		t.Fatalf("empty parallel: %v %v", rp, err)
+	}
+	rd, _, err := ClusterDistributed(nil, 1, 3, 4)
+	if err != nil || len(rd.Labels) != 0 {
+		t.Fatalf("empty distributed: %v %v", rd, err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r, err := Cluster([][]float64{{0}, {0.1}, {0.2}, {50}}, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumCorePoints() == 0 || r.NumNoise() != 1 {
+		t.Fatalf("cores=%d noise=%d", r.NumCorePoints(), r.NumNoise())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

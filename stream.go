@@ -1,0 +1,25 @@
+package mudbscan
+
+import "mudbscan/internal/stream"
+
+// StreamClusterer maintains micro-cluster summaries over an unbounded point
+// stream and produces clusterings on demand — the data-stream adaptation of
+// μDBSCAN (the paper's §VII future work). Unlike the batch entry points the
+// snapshots are approximate: cluster boundaries are resolved at
+// micro-cluster granularity, which is inherent to single-pass stream
+// clustering.
+type StreamClusterer = stream.Clusterer
+
+// StreamSnapshot is a point-in-time clustering of the stream's
+// micro-cluster summary.
+type StreamSnapshot = stream.Snapshot
+
+// StreamOptions tunes the stream clusterer's window: Lambda > 0 gives a
+// damped window that forgets stale regions; Lambda = 0 a landmark window.
+type StreamOptions = stream.Options
+
+// NewStreamClusterer creates a stream clusterer for dim-dimensional points
+// with DBSCAN parameters eps and minPts.
+func NewStreamClusterer(dim int, eps float64, minPts int, opts StreamOptions) (*StreamClusterer, error) {
+	return stream.New(dim, eps, minPts, opts)
+}
