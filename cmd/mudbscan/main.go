@@ -89,8 +89,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		var st *mudbscan.ParStats
 		result, st, err = mudbscan.ClusterParallel(rows, *eps, *minPts, mudbscan.WithWorkers(*workers))
 		if err == nil && *stats {
-			fmt.Fprintf(stderr, "n=%d m=%d workers=%d queries=%d saved=%d time=%v\n",
-				len(pts), st.NumMCs, st.Workers, st.Queries, st.QueriesSaved, time.Since(start))
+			fmt.Fprintf(stderr, "n=%d m=%d workers=%d queries=%d saved=%d (%.2f%%) distcalcs=%d time=%v\n",
+				len(pts), st.NumMCs, st.Workers, st.Queries, st.QueriesSaved, st.QuerySavedPct(), st.DistCalcs, time.Since(start))
+			fmt.Fprintf(stderr, "steps: tree=%v reach=%v cluster=%v post=%v\n",
+				st.Steps.TreeConstruction, st.Steps.FindingReachable,
+				st.Steps.Clustering, st.Steps.PostProcessing)
 		}
 	case "dist":
 		var st *mudbscan.DistStats

@@ -27,6 +27,7 @@ func Experiments() []Experiment {
 		{"fig5", "run time vs eps (Figure 5)", Fig5},
 		{"fig6", "run time vs dimensionality (Figure 6)", Fig6},
 		{"fig7", "speedup vs ranks (Figure 7)", Fig7},
+		{"shared", "shared-memory multi-core phase split across worker counts", SharedMemory},
 		{"ablations", "design-choice ablations (DESIGN.md §5)", Ablations},
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mudbscan/internal/geom"
+	"mudbscan/internal/par"
 	"mudbscan/internal/rtree"
 )
 
@@ -76,6 +77,13 @@ type Options struct {
 	// time that phase separately (μDBSCAN's step 2) invoke ComputeReachable
 	// themselves.
 	SkipReachable bool
+	// Workers parallelizes the per-MC finalize work (auxiliary bulk loads,
+	// inner-circle scans, kind classification) and ComputeReachable across
+	// that many goroutines. Zero or one means sequential. The index produced
+	// is identical at every worker count: each micro-cluster is finalized by
+	// exactly one worker against the already-frozen membership, and the
+	// center tree is only read.
+	Workers int
 }
 
 // Index is the two-level μR-tree plus the micro-cluster list: the first
@@ -171,9 +179,13 @@ func (ix *Index) addMember(mcID, pointID int) {
 }
 
 // finalize builds the aux trees, inner circles, kinds and reachable lists.
+// Micro-clusters are mutually independent here — membership is frozen and
+// every write targets the one MC being finalized — so the loop runs across
+// Options.Workers goroutines.
 func (ix *Index) finalize(pts []geom.Point) {
 	half := ix.Eps / 2
-	for _, m := range ix.MCs {
+	par.For(ix.opts.Workers, len(ix.MCs), func(_, k int) {
+		m := ix.MCs[k]
 		mpts := make([]geom.Point, len(m.Members))
 		ids := make([]int, len(m.Members))
 		for i, id := range m.Members {
@@ -194,7 +206,7 @@ func (ix *Index) finalize(pts []geom.Point) {
 		default:
 			m.Kind = SMC
 		}
-	}
+	})
 	if !ix.opts.SkipReachable {
 		ix.ComputeReachable()
 	}
@@ -202,15 +214,19 @@ func (ix *Index) finalize(pts []geom.Point) {
 
 // ComputeReachable fills every micro-cluster's reachable list: the MCs whose
 // centers lie within 3ε (closed), found through the first-level μR-tree
-// (Algorithm 5). Idempotent.
+// (Algorithm 5). Idempotent. The center tree is immutable by now and sphere
+// queries are read-only, so the per-MC queries run across Options.Workers
+// goroutines; each list is produced by one worker in tree order, identical
+// at every worker count.
 func (ix *Index) ComputeReachable() {
 	reach := 3 * ix.Eps
-	for _, m := range ix.MCs {
+	par.For(ix.opts.Workers, len(ix.MCs), func(_, k int) {
+		m := ix.MCs[k]
 		m.Reach = m.Reach[:0]
 		ix.centers.Sphere(m.Center, reach, false, func(id int, _ geom.Point) {
 			m.Reach = append(m.Reach, int32(id))
 		})
-	}
+	})
 }
 
 // NumMCs returns m, the number of micro-clusters.

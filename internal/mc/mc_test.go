@@ -2,6 +2,7 @@ package mc
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -319,5 +320,43 @@ func TestQuickInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestParallelBuildIdenticalToSequential: the Workers option only
+// parallelizes per-MC finalize work and reachable-list queries, so the
+// produced index must be byte-identical to the sequential build — same
+// membership, inner circles, kinds, and reachable lists, in the same order.
+func TestParallelBuildIdenticalToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randPoints(rng, 3000, 3, 10)
+	eps, minPts := 0.6, 5
+	seq := Build(pts, eps, minPts, Options{})
+	for _, workers := range []int{2, 4, 8} {
+		p := Build(pts, eps, minPts, Options{Workers: workers})
+		if len(p.MCs) != len(seq.MCs) {
+			t.Fatalf("workers=%d: %d MCs, sequential %d", workers, len(p.MCs), len(seq.MCs))
+		}
+		if !reflect.DeepEqual(p.PointMC, seq.PointMC) {
+			t.Fatalf("workers=%d: PointMC differs", workers)
+		}
+		for i, m := range p.MCs {
+			sm := seq.MCs[i]
+			if m.CenterID != sm.CenterID || m.Kind != sm.Kind {
+				t.Fatalf("workers=%d MC %d: center/kind differ", workers, i)
+			}
+			if !reflect.DeepEqual(m.Members, sm.Members) {
+				t.Fatalf("workers=%d MC %d: membership differs", workers, i)
+			}
+			if !reflect.DeepEqual(m.InnerIDs, sm.InnerIDs) {
+				t.Fatalf("workers=%d MC %d: inner circle differs", workers, i)
+			}
+			if !reflect.DeepEqual(m.Reach, sm.Reach) {
+				t.Fatalf("workers=%d MC %d: reachable list differs", workers, i)
+			}
+			if m.Aux.Len() != sm.Aux.Len() {
+				t.Fatalf("workers=%d MC %d: aux tree size differs", workers, i)
+			}
+		}
 	}
 }

@@ -1,0 +1,73 @@
+// Package par provides the tiny work-sharing loop the shared-memory and
+// index-build code paths parallelize with. It lives below internal/mc in the
+// dependency order so both the μR-tree build and the multi-core driver can
+// reuse the same scheduler.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunk bounds the grab size so late-arriving workers still find work on
+// large ranges.
+const maxChunk = 64
+
+// chunkFor derives the atomic-counter grab size from the range and worker
+// count: roughly four grabs per worker (for load balancing when iteration
+// costs vary), floored at 1 so small ranges still spread across all workers,
+// and capped at maxChunk to keep tail latency low on huge ranges. A fixed
+// chunk would hand worker 0 the entire range whenever n < chunk·workers.
+func chunkFor(workers, n int) int64 {
+	c := n / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	if c > maxChunk {
+		c = maxChunk
+	}
+	return int64(c)
+}
+
+// For runs fn(worker, i) for every i in [0, n) across the given number of
+// workers. Worker indices are in [0, workers); each i is executed exactly
+// once. With workers <= 1 (or a single-element range) the loop runs inline on
+// the calling goroutine, so sequential callers pay no scheduling cost and
+// stay deterministic.
+func For(workers, n int, fn func(w, i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	chunk := chunkFor(workers, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				start := atomic.AddInt64(&next, chunk) - chunk
+				if start >= int64(n) {
+					return
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(w, int(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

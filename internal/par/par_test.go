@@ -1,0 +1,85 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 63, 64, 65, 1000} {
+			counts := make([]int32, n)
+			For(workers, n, func(_, i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIndexInRange(t *testing.T) {
+	const workers, n = 7, 500
+	var bad atomic.Bool
+	For(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Store(true)
+		}
+	})
+	if bad.Load() {
+		t.Fatal("worker index out of [0, workers)")
+	}
+}
+
+// TestSmallRangeSpreadsWork is the regression test for the fixed chunk=64
+// bug: with n < chunk*workers a fixed grab size hands worker 0 the whole
+// range and idles the rest.
+func TestSmallRangeSpreadsWork(t *testing.T) {
+	const workers, n = 8, 32
+	if c := chunkFor(workers, n); c >= n {
+		t.Fatalf("chunk %d swallows the whole range n=%d", c, n)
+	}
+	perWorker := make([]int32, workers)
+	// The schedule is nondeterministic, but with chunk=1 a worker can grab at
+	// most one index while the others are blocked starting up; over several
+	// attempts at least one run must use more than one worker.
+	spread := false
+	for attempt := 0; attempt < 20 && !spread; attempt++ {
+		for i := range perWorker {
+			perWorker[i] = 0
+		}
+		For(workers, n, func(w, _ int) {
+			atomic.AddInt32(&perWorker[w], 1)
+			runtime.Gosched()
+		})
+		used := 0
+		for _, c := range perWorker {
+			if c > 0 {
+				used++
+			}
+		}
+		spread = used > 1
+	}
+	if !spread {
+		t.Fatal("small range never spread beyond one worker")
+	}
+}
+
+func TestSequentialFallbackIsOrdered(t *testing.T) {
+	var got []int
+	For(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential fallback used worker %d", w)
+		}
+		got = append(got, i) // safe: inline execution, single goroutine
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential fallback out of order: %v", got)
+		}
+	}
+}

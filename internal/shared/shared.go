@@ -1,7 +1,9 @@
 // Package shared implements the shared-memory parallel μDBSCAN the paper
 // lists as future work (§VII): one process, many cores, the same exact
-// clustering. The μR-tree is built once and then queried concurrently; the
-// cluster structure lives in a lock-striped concurrent union-find.
+// clustering. The μR-tree is built once (its per-MC finalize and reachable
+// phases themselves parallelized through mc.Options.Workers) and then
+// queried concurrently; the cluster structure lives in a lock-striped
+// concurrent union-find.
 //
 // Exactness under concurrency follows the same arguments as the sequential
 // algorithm plus one extra device: when a worker observes a neighbor whose
@@ -10,16 +12,26 @@
 // can be lost to a stale read. Border assignment uses compare-and-swap
 // claims, so every border joins exactly one cluster; which one may vary
 // between runs, which the DBSCAN exactness criteria permit.
+//
+// Per-worker state discipline: every lazily-filled list (wndq, deferred,
+// noise) and every counter is an arena owned by exactly one worker, allocated
+// once — sized to the worker count — when the run state is constructed.
+// Workers address their arena as s.xxx[w]; the outer slices never grow, so
+// no interior pointer into a growable slice ever escapes and no lock is
+// needed. (An earlier lazily-grown design handed workers *[]T pointers into
+// an outer slice that another worker's growth could reallocate, silently
+// dropping deferred links; `go test -race` caught it.)
 package shared
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 
 	"mudbscan/internal/clustering"
 	"mudbscan/internal/geom"
 	"mudbscan/internal/mc"
+	"mudbscan/internal/par"
 	"mudbscan/internal/unionfind"
 )
 
@@ -31,12 +43,47 @@ type Options struct {
 	Fanout int
 }
 
-// Stats reports the work performed.
+// StepTimes records the wall-clock split of a shared-memory run over the
+// same four phases the sequential Stats report (Table III): every phase is
+// parallel, so each entry is the wall time of its parallel section.
+type StepTimes struct {
+	TreeConstruction time.Duration // micro-cluster + μR-tree build, MC classification
+	FindingReachable time.Duration // reachable micro-cluster lists
+	Clustering       time.Duration // preliminary unions + neighborhood queries
+	PostProcessing   time.Duration // deferred links, wndq-core merging, noise rectification
+}
+
+// Total returns the sum of all step durations.
+func (s StepTimes) Total() time.Duration {
+	return s.TreeConstruction + s.FindingReachable + s.Clustering + s.PostProcessing
+}
+
+// Stats reports the work performed, at parity with core.Stats: per-phase
+// wall times, distance-computation counts and the wndq split are folded from
+// per-worker counters after the parallel sections complete.
 type Stats struct {
 	NumMCs       int
 	Queries      int64
 	QueriesSaved int64
-	Workers      int
+	// DistCalcs counts point-to-point distance computations across the
+	// query and post-processing phases.
+	DistCalcs int64
+	// WndqFromMCs and WndqDynamic split the query-free core proofs between
+	// DMC/CMC classification and dense ε/2-neighborhoods.
+	WndqFromMCs int64
+	WndqDynamic int64
+	Workers     int
+	// Steps is the wall-clock phase split.
+	Steps StepTimes
+}
+
+// QuerySavedPct returns the percentage of potential queries saved.
+func (s *Stats) QuerySavedPct() float64 {
+	total := s.Queries + s.QueriesSaved
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.QueriesSaved) / float64(total)
 }
 
 // Run clusters pts with the multi-core μDBSCAN and returns the exact DBSCAN
@@ -53,77 +100,129 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 	}
 	st.Workers = workers
 
-	ix := mc.Build(pts, eps, minPts, mc.Options{Fanout: opts.Fanout})
+	// Step 1: μR-tree construction; the per-MC finalize work runs on the
+	// same worker count as the rest of the pipeline.
+	start := time.Now()
+	ix := mc.Build(pts, eps, minPts, mc.Options{
+		Fanout:        opts.Fanout,
+		SkipReachable: true,
+		Workers:       workers,
+	})
+	st.Steps.TreeConstruction = time.Since(start)
 	st.NumMCs = ix.NumMCs()
 
-	s := &state{
-		pts: pts, eps: eps, minPts: minPts, ix: ix,
-		uf:       unionfind.NewConcurrent(n),
-		core:     make([]atomic.Bool, n),
-		wndq:     make([]atomic.Bool, n),
-		assigned: make([]atomic.Bool, n),
-	}
+	// Step 2: reachable lists, parallel over MCs against the immutable
+	// center tree.
+	start = time.Now()
+	ix.ComputeReachable()
+	st.Steps.FindingReachable = time.Since(start)
 
-	// Phase 1: preliminary clusters from DMC/CMC, parallel over MCs.
-	parallelFor(workers, len(ix.MCs), func(w, i int) {
+	s := newState(pts, eps, minPts, ix, workers)
+
+	// Step 3a: preliminary clusters from DMC/CMC, parallel over MCs. Each MC
+	// is handled by exactly one worker, so the per-MC wholeness flag is a
+	// plain bool: when every member's union was performed (none deferred to
+	// another cluster's claim), the MC occupies a single union-find
+	// component forever — unions only merge — which step 4b exploits.
+	start = time.Now()
+	par.For(workers, len(ix.MCs), func(w, i int) {
 		z := ix.MCs[i]
 		if z.Kind == mc.SMC {
 			return
 		}
 		center := int32(z.CenterID)
-		s.markWndq(w, center)
+		s.markWndq(w, center, true)
 		if z.Kind == mc.DMC {
 			for _, q := range z.InnerIDs {
-				s.markWndq(w, q)
+				s.markWndq(w, q, true)
 			}
 		}
+		whole := true
 		for _, p := range z.Members {
-			if p != center {
-				s.linkFromCore(w, center, p)
+			if p != center && !s.linkFromCore(w, center, p) {
+				whole = false
 			}
 		}
+		s.mcWhole[i] = whole
 	})
 
-	// Phase 2: neighborhood queries for points not proven core, parallel.
-	var queries int64
-	parallelFor(workers, n, func(w, i int) {
+	// Step 3b: neighborhood queries for points not proven core, parallel.
+	par.For(workers, n, func(w, i int) {
 		if s.wndq[i].Load() {
 			return
 		}
-		atomic.AddInt64(&queries, 1)
+		s.counters[w].queries++
 		s.processPoint(w, i)
 	})
-	st.Queries = queries
-	st.QueriesSaved = int64(n) - queries
+	st.Steps.Clustering = time.Since(start)
 
-	// Phase 3: deferred links — all core flags are final now, so any stale
+	// Step 4a: deferred links — all core flags are final now, so any stale
 	// observation is resolved.
+	start = time.Now()
 	deferred := collect(s.deferred)
-	parallelFor(workers, len(deferred), func(_, i int) {
+	par.For(workers, len(deferred), func(_, i int) {
 		d := deferred[i]
 		if s.core[d[1]].Load() {
 			s.uf.Union(int(d[0]), int(d[1]))
 		}
 	})
 
-	// Phase 4: post-process wndq cores (Algorithm 7).
+	// Step 4b: post-process wndq cores (Algorithm 7), with the sequential
+	// postProcessCore's two union-structure exploitations, both sound under
+	// concurrency because all clustering-phase unions completed at the
+	// par.For barrier and unions only merge:
+	//
+	//   - pid's root is cached across candidates; a candidate whose root
+	//     matches was already merged with pid (conclusive — set membership
+	//     only grows), and a stale mismatch merely costs a redundant
+	//     distance check and a no-op union, never a lost edge;
+	//   - an MC flagged whole in step 3a shares one component permanently,
+	//     so a single center lookup decides it, and after the first merging
+	//     union the rest of the MC is skipped.
 	wndqList := collect(s.wndqLists)
-	parallelFor(workers, len(wndqList), func(_, k int) {
+	eps2 := eps * eps
+	prune2 := 4 * eps * eps
+	par.For(workers, len(wndqList), func(w, k int) {
 		pid := wndqList[k]
 		p := pts[pid]
-		ix.VisitReachableMembers(p, int(pid), func(q int32) {
-			if q == pid || !s.core[q].Load() || s.uf.Same(int(pid), int(q)) {
-				return
+		rootP := s.uf.Find(int(pid))
+		region := geom.Region(p, eps)
+		for _, rid := range ix.MCs[ix.PointMC[pid]].Reach {
+			z := ix.MCs[rid]
+			if geom.DistSq(p, z.Center) >= prune2 {
+				continue
 			}
-			if geom.Within(p, pts[q], eps) {
+			if !z.Aux.RootMBR().Overlaps(region) {
+				continue
+			}
+			wholeMC := s.mcWhole[rid]
+			if wholeMC && s.uf.Find(z.CenterID) == rootP {
+				continue
+			}
+			for _, q := range z.Members {
+				if q == pid || !s.core[q].Load() {
+					continue
+				}
+				if !wholeMC && s.uf.Find(int(q)) == rootP {
+					continue
+				}
+				s.counters[w].distCalcs++
+				if geom.DistSq(p, pts[q]) >= eps2 {
+					continue
+				}
 				s.uf.Union(int(pid), int(q))
+				rootP = s.uf.Find(int(pid))
+				if wholeMC {
+					// The union just absorbed the whole micro-cluster.
+					break
+				}
 			}
-		})
+		}
 	})
 
-	// Phase 5: noise rectification (Algorithm 8).
-	noise := collectNoise(s.noiseLists)
-	parallelFor(workers, len(noise), func(_, k int) {
+	// Step 4c: noise rectification (Algorithm 8).
+	noise := collect(s.noiseLists)
+	par.For(workers, len(noise), func(_, k int) {
 		e := noise[k]
 		if s.core[e.id].Load() {
 			return
@@ -138,19 +237,44 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 		}
 	})
 
-	frozen := s.uf.Freeze()
+	st.Steps.PostProcessing = time.Since(start)
+
+	// Fold the per-worker counters now that every parallel section is done.
+	for w := range s.counters {
+		c := &s.counters[w]
+		st.Queries += c.queries
+		st.DistCalcs += c.distCalcs
+		st.WndqFromMCs += c.wndqFromMCs
+		st.WndqDynamic += c.wndqDynamic
+	}
+	st.QueriesSaved = int64(n) - st.Queries
+
+	// Extract components in parallel: all unions are complete, so the
+	// lock-free Find is exact and stable, and the per-index writes are
+	// disjoint.
 	comp := make([]int, n)
 	coreFlags := make([]bool, n)
-	for i := range comp {
-		comp[i] = frozen.Find(i)
+	par.For(workers, n, func(_, i int) {
+		comp[i] = s.uf.Find(i)
 		coreFlags[i] = s.core[i].Load()
-	}
+	})
 	return clustering.FromUnionLabels(comp, coreFlags), st
 }
 
 type noiseEntry struct {
 	id   int32
 	nbhd []int32
+}
+
+// workerCounters accumulates one worker's statistics without atomics; the
+// pad keeps adjacent workers' counters on distinct cache lines so the hot
+// distCalcs increments do not false-share.
+type workerCounters struct {
+	queries     int64
+	distCalcs   int64
+	wndqFromMCs int64
+	wndqDynamic int64
+	_           [32]byte
 }
 
 type state struct {
@@ -164,46 +288,69 @@ type state struct {
 	wndq     []atomic.Bool
 	assigned []atomic.Bool
 
-	mu         sync.Mutex
+	// Per-worker arenas, sized to the worker count at construction and never
+	// grown: worker w owns index w of each outer slice exclusively, so the
+	// appends below are unsynchronized by design. Interior pointers into
+	// these outer slices are forbidden — see the package comment.
 	wndqLists  [][]int32
 	deferred   [][][2]int32
 	noiseLists [][]noiseEntry
+	counters   []workerCounters
+
+	// mcWhole[id] reports that every member of MC id shares the center's
+	// union-find component permanently (set in step 3a, where each MC is
+	// owned by one worker; read only after that phase's barrier).
+	mcWhole []bool
 }
 
-// perWorker returns worker w's slice of a lazily-grown per-worker store.
-func perWorker[T any](mu *sync.Mutex, store *[][]T, w int) *[]T {
-	mu.Lock()
-	for len(*store) <= w {
-		*store = append(*store, nil)
+func newState(pts []geom.Point, eps float64, minPts int, ix *mc.Index, workers int) *state {
+	n := len(pts)
+	return &state{
+		pts: pts, eps: eps, minPts: minPts, ix: ix,
+		uf:         unionfind.NewConcurrent(n),
+		core:       make([]atomic.Bool, n),
+		wndq:       make([]atomic.Bool, n),
+		assigned:   make([]atomic.Bool, n),
+		wndqLists:  make([][]int32, workers),
+		deferred:   make([][][2]int32, workers),
+		noiseLists: make([][]noiseEntry, workers),
+		counters:   make([]workerCounters, workers),
+		mcWhole:    make([]bool, ix.NumMCs()),
 	}
-	s := &(*store)[w]
-	mu.Unlock()
-	return s
 }
 
-func (s *state) markWndq(w int, id int32) {
+// markWndq declares point id core without a query; the atomic swap makes the
+// transition exactly-once, so exactly one worker records the point and the
+// statistic. fromMC distinguishes DMC/CMC classification from dynamic dense
+// ε/2-ball promotion.
+func (s *state) markWndq(w int, id int32, fromMC bool) {
 	if s.core[id].Swap(true) {
 		return
 	}
 	s.wndq[id].Store(true)
-	lst := perWorker(&s.mu, &s.wndqLists, w)
-	*lst = append(*lst, id)
+	s.wndqLists[w] = append(s.wndqLists[w], id)
+	if fromMC {
+		s.counters[w].wndqFromMCs++
+	} else {
+		s.counters[w].wndqDynamic++
+	}
 }
 
 // linkFromCore unions core point c with q, claiming q as a border via CAS
-// when q is not known core; the link is also deferred so that a stale
-// non-core observation of a true core cannot lose the edge.
-func (s *state) linkFromCore(w int, c, q int32) {
+// when q is not known core, and reports whether a union was performed. When
+// the claim is lost the link is deferred instead, so that a stale non-core
+// observation of a true core cannot lose the edge.
+func (s *state) linkFromCore(w int, c, q int32) bool {
 	if s.core[q].Load() {
 		s.uf.Union(int(c), int(q))
-		return
+		return true
 	}
 	if s.assigned[q].CompareAndSwap(false, true) {
 		s.uf.Union(int(c), int(q))
-		return
+		return true
 	}
-	d := perWorker(&s.mu, &s.deferred, w)
-	*d = append(*d, [2]int32{c, q})
+	s.deferred[w] = append(s.deferred[w], [2]int32{c, q})
+	return false
 }
 
 func (s *state) processPoint(w, i int) {
@@ -212,7 +359,7 @@ func (s *state) processPoint(w, i int) {
 	var nbhd []int32
 	var inner []bool
 	innerCount := 0
-	s.ix.EpsNeighborhood(p, i, func(id int, pt geom.Point) {
+	calcs, _ := s.ix.EpsNeighborhood(p, i, func(id int, pt geom.Point) {
 		nbhd = append(nbhd, int32(id))
 		in := geom.DistSq(p, pt) < half2
 		inner = append(inner, in)
@@ -220,6 +367,8 @@ func (s *state) processPoint(w, i int) {
 			innerCount++
 		}
 	})
+	// Query cost plus the inner-circle tests, matching core.Stats accounting.
+	s.counters[w].distCalcs += int64(calcs) + int64(len(nbhd))
 
 	if len(nbhd) < s.minPts {
 		if s.assigned[i].Load() {
@@ -233,8 +382,7 @@ func (s *state) processPoint(w, i int) {
 				return
 			}
 		}
-		lst := perWorker(&s.mu, &s.noiseLists, w)
-		*lst = append(*lst, noiseEntry{id: int32(i), nbhd: nbhd})
+		s.noiseLists[w] = append(s.noiseLists[w], noiseEntry{id: int32(i), nbhd: nbhd})
 		return
 	}
 
@@ -242,7 +390,7 @@ func (s *state) processPoint(w, i int) {
 	if innerCount >= s.minPts {
 		for k, q := range nbhd {
 			if inner[k] && int(q) != i && !s.core[q].Load() {
-				s.markWndq(w, q)
+				s.markWndq(w, q, false)
 			}
 		}
 	}
@@ -254,50 +402,13 @@ func (s *state) processPoint(w, i int) {
 }
 
 func collect[T any](lists [][]T) []T {
-	var out []T
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]T, 0, total)
 	for _, l := range lists {
 		out = append(out, l...)
 	}
 	return out
-}
-
-func collectNoise(lists [][]noiseEntry) []noiseEntry {
-	var out []noiseEntry
-	for _, l := range lists {
-		out = append(out, l...)
-	}
-	return out
-}
-
-// parallelFor runs fn(worker, i) for i in [0, n) across the given workers.
-func parallelFor(workers, n int, fn func(w, i int)) {
-	if n == 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var next int64
-	var wg sync.WaitGroup
-	const chunk = 64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				start := atomic.AddInt64(&next, chunk) - chunk
-				if start >= int64(n) {
-					return
-				}
-				end := start + chunk
-				if end > int64(n) {
-					end = int64(n)
-				}
-				for i := start; i < end; i++ {
-					fn(w, int(i))
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
 }

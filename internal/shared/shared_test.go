@@ -2,6 +2,7 @@ package shared
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -37,12 +38,16 @@ func blobs(rng *rand.Rand, n, d, k int, spread, noiseFrac float64) []geom.Point 
 	return pts
 }
 
+// TestExactAcrossWorkerCounts is the seeded stress test: exactness checks at
+// worker counts 1/2/4/GOMAXPROCS, intended to run under the race detector
+// (the CI workflow gates on `go test -race ./internal/shared/`).
 func TestExactAcrossWorkerCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	pts := blobs(rng, 1000, 3, 4, 0.3, 0.2)
 	eps, minPts := 0.45, 5
 	want, _ := dbscan.Brute(pts, eps, minPts)
-	for _, w := range []int{1, 2, 4, 8} {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, w := range counts {
 		got, st := Run(pts, eps, minPts, Options{Workers: w})
 		if err := got.Validate(); err != nil {
 			t.Fatalf("w=%d invalid: %v", w, err)
@@ -59,6 +64,58 @@ func TestExactAcrossWorkerCounts(t *testing.T) {
 		if st.Queries+st.QueriesSaved != int64(len(pts)) {
 			t.Fatalf("w=%d queries %d + saved %d != n", w, st.Queries, st.QueriesSaved)
 		}
+	}
+}
+
+// TestManySmallRunsKeepDeferredLinks is the regression test for the
+// per-worker store race: the lazily-grown stores returned interior pointers
+// that another worker's growth could reallocate, dropping deferred core-core
+// links, which shows up as a wrong cluster count on small inputs with many
+// workers. Many independent small runs maximize the racy window.
+func TestManySmallRunsKeepDeferredLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eps, minPts := 0.5, 4
+	for trial := 0; trial < 40; trial++ {
+		pts := blobs(rng, 150+rng.Intn(250), 2, 3, 0.25, 0.3)
+		want, _ := dbscan.Brute(pts, eps, minPts)
+		got, _ := Run(pts, eps, minPts, Options{Workers: 16})
+		if got.NumClusters != want.NumClusters {
+			t.Fatalf("trial %d: %d clusters, brute found %d (deferred link lost?)",
+				trial, got.NumClusters, want.NumClusters)
+		}
+		if err := clustering.Equivalent(want, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestStatsParity checks the core.Stats-parity fields: nonzero distance
+// counts, a full phase split, and the wndq source split.
+func TestStatsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := blobs(rng, 4000, 3, 4, 0.2, 0.1)
+	eps, minPts := 0.5, 5
+	_, st := Run(pts, eps, minPts, Options{Workers: 4})
+	if st.DistCalcs == 0 {
+		t.Fatal("DistCalcs not accumulated")
+	}
+	if st.WndqFromMCs == 0 {
+		t.Fatal("dense blobs must prove cores from DMC/CMC classification")
+	}
+	if st.WndqFromMCs+st.WndqDynamic < st.QueriesSaved {
+		t.Fatalf("wndq split %d+%d cannot cover %d saved queries",
+			st.WndqFromMCs, st.WndqDynamic, st.QueriesSaved)
+	}
+	steps := st.Steps
+	if steps.TreeConstruction <= 0 || steps.FindingReachable <= 0 ||
+		steps.Clustering <= 0 || steps.PostProcessing <= 0 {
+		t.Fatalf("incomplete phase split: %+v", steps)
+	}
+	if steps.Total() != steps.TreeConstruction+steps.FindingReachable+steps.Clustering+steps.PostProcessing {
+		t.Fatal("Total does not sum the phases")
+	}
+	if pct := st.QuerySavedPct(); pct <= 0 || pct > 100 {
+		t.Fatalf("QuerySavedPct=%g out of range", pct)
 	}
 }
 

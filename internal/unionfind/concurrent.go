@@ -7,9 +7,10 @@ import (
 
 // Concurrent is a disjoint-set forest safe for concurrent Union and Find.
 // It uses lock striping: each Union locks the (ordered) roots' stripes, so
-// distinct subtrees proceed in parallel. Finds are atomic-load walks of
-// parent pointers that may observe slightly stale roots but always converge,
-// because parent pointers only ever move toward roots.
+// distinct subtrees proceed in parallel. Finds are lock-free atomic walks of
+// parent pointers with CAS path halving; they may observe slightly stale
+// roots but always converge, because parent pointers only ever move toward
+// roots.
 type Concurrent struct {
 	parent  []int32
 	stripes []sync.Mutex
@@ -32,12 +33,21 @@ func NewConcurrent(n int) *Concurrent {
 // Len returns the number of elements.
 func (c *Concurrent) Len() int { return len(c.parent) }
 
-// find walks to the root without locking.
+// find walks to the root without locking, halving the path as it goes:
+// each visited node's parent pointer is CASed from its parent to its
+// grandparent. The CAS can only replace a pointer with a strictly closer
+// ancestor, so the "parents only move toward roots" invariant that Union's
+// root re-validation relies on is preserved, and concurrent finds shorten
+// chains for each other instead of re-walking them.
 func (c *Concurrent) find(x int32) int32 {
 	for {
 		p := atomic.LoadInt32(&c.parent[x])
 		if p == x {
 			return x
+		}
+		g := atomic.LoadInt32(&c.parent[p])
+		if g != p {
+			atomic.CompareAndSwapInt32(&c.parent[x], p, g)
 		}
 		x = p
 	}

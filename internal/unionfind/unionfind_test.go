@@ -184,3 +184,70 @@ func BenchmarkSequentialUnion(b *testing.B) {
 		}
 	}
 }
+
+// TestConcurrentFindDuringUnions exercises the lock-free path-halving find
+// while unions are in flight; run under -race in CI. Finds may return stale
+// roots mid-flight, but connectivity must be exact once the unions are done.
+func TestConcurrentFindDuringUnions(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(21))
+	type edge struct{ a, b int }
+	edges := make([]edge, 6000)
+	for i := range edges {
+		edges[i] = edge{rng.Intn(n), rng.Intn(n)}
+	}
+	seq := New(n)
+	for _, e := range edges {
+		seq.Union(e.a, e.b)
+	}
+
+	con := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(edges); i += 4 {
+				con.Union(edges[i].a, edges[i].b)
+			}
+		}(w)
+	}
+	// Readers hammer Find/Same concurrently with the unions: results may be
+	// stale but must never trip the race detector or fail to terminate.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 20000; i++ {
+				x, y := rng.Intn(n), rng.Intn(n)
+				con.Find(x)
+				con.Same(x, y)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for trial := 0; trial < 2000; trial++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if con.Same(a, b) != seq.Same(a, b) {
+			t.Fatalf("connectivity mismatch for %d,%d", a, b)
+		}
+	}
+}
+
+// TestPathHalvingConverges: after enough finds every chain is short; assert
+// Find still returns true roots after interleaved halving.
+func TestPathHalvingConverges(t *testing.T) {
+	const n = 64
+	c := NewConcurrent(n)
+	for i := 1; i < n; i++ {
+		c.Union(i-1, i) // one long chain
+	}
+	root := c.Find(0)
+	for i := 0; i < n; i++ {
+		if c.Find(i) != root {
+			t.Fatalf("Find(%d) != Find(0)", i)
+		}
+	}
+}
