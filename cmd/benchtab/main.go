@@ -7,8 +7,12 @@
 //	benchtab -exp all -scale 0.25   # everything, quarter-size datasets
 //	benchtab -list                  # show available experiments
 //
-// Experiments: table1..table8, fig5..fig7, ablations, all. See DESIGN.md §4
-// for the mapping to the paper, and EXPERIMENTS.md for recorded results.
+// Experiments: table1..table8, fig5..fig7, shared, wallclock, ablations,
+// all. The tables and figures use the serial rank simulation (isolation
+// timing, the paper's methodology); wallclock additionally runs the
+// concurrent driver and reports real end-to-end wall-clock next to the
+// simulated totals. See DESIGN.md §4 for the mapping to the paper, and
+// EXPERIMENTS.md for recorded results.
 package main
 
 import (

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mudbscan -eps 0.5 -minpts 5 [-mode seq|parallel|dist] [-ranks 8]
-//	         [-workers 4] [-in points.csv] [-out labels.txt] [-stats]
+//	         [-dist-serial] [-workers 4] [-in points.csv] [-out labels.txt]
+//	         [-stats]
 //
 // The input is CSV (one point per line; comma, space, tab or semicolon
 // separated) or the compact binary format produced by datagen -format bin
@@ -41,6 +42,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		minPts  = fs.Int("minpts", 5, "DBSCAN MinPts density threshold")
 		mode    = fs.String("mode", "seq", "execution mode: seq, parallel or dist")
 		ranks   = fs.Int("ranks", 8, "simulated ranks for -mode dist (power of two)")
+		distSer = fs.Bool("dist-serial", false, "run -mode dist ranks one at a time (isolation timing) instead of concurrently")
 		workers = fs.Int("workers", 0, "goroutines for -mode parallel (0 = GOMAXPROCS)")
 		inPath  = fs.String("in", "-", "input dataset (CSV, or .bin binary; - = stdin)")
 		outPath = fs.String("out", "-", "output labels file (- = stdout)")
@@ -96,11 +98,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				st.Steps.Clustering, st.Steps.PostProcessing)
 		}
 	case "dist":
+		var distOpts []mudbscan.Option
+		if *distSer {
+			distOpts = append(distOpts, mudbscan.WithSerialSimulation())
+		}
 		var st *mudbscan.DistStats
-		result, st, err = mudbscan.ClusterDistributed(rows, *eps, *minPts, *ranks)
+		result, st, err = mudbscan.ClusterDistributed(rows, *eps, *minPts, *ranks, distOpts...)
 		if err == nil && *stats {
-			fmt.Fprintf(stderr, "n=%d ranks=%d m=%d halo=%d commBytes=%d time=%v\n",
-				len(pts), st.Ranks, st.NumMCs, st.HaloPoints, st.Comm.TotalBytes(), time.Since(start))
+			fmt.Fprintf(stderr, "n=%d ranks=%d m=%d halo=%d commBytes=%d wallclock=%v simulated=%v time=%v\n",
+				len(pts), st.Ranks, st.NumMCs, st.HaloPoints, st.Comm.TotalBytes(),
+				st.WallClock, st.Phases.Total(), time.Since(start))
 		}
 	default:
 		return fmt.Errorf("unknown -mode %q (want seq, parallel or dist)", *mode)

@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"sort"
 
 	"mudbscan"
@@ -29,36 +31,42 @@ func main() {
 	n := flag.Int("n", 100000, "number of galaxies")
 	ranks := flag.Int("ranks", 8, "simulated compute ranks (power of two)")
 	flag.Parse()
+	if err := run(os.Stdout, *n, *ranks); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	catalog := makeCatalog(*n, 42)
+func run(w io.Writer, n, ranks int) error {
+	catalog := makeCatalog(n, 42)
 	const (
 		eps    = 1.2 // linking length, same role as FoF halo finders'
 		minPts = 5
 	)
 
-	fmt.Printf("catalog: %d galaxies in 3-D, eps=%.2f MinPts=%d\n", len(catalog), eps, minPts)
+	fmt.Fprintf(w, "catalog: %d galaxies in 3-D, eps=%.2f MinPts=%d\n", len(catalog), eps, minPts)
 
 	// Sequential reference.
 	seq, seqStats, err := mudbscan.ClusterWithStats(catalog, eps, minPts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("sequential μDBSCAN: %d groups, %d field galaxies (noise), %.1f%% queries saved\n",
+	fmt.Fprintf(w, "sequential μDBSCAN: %d groups, %d field galaxies (noise), %.1f%% queries saved\n",
 		seq.NumClusters, seq.NumNoise(), seqStats.QuerySavedPct())
 
-	// Distributed run over simulated ranks.
-	distRes, distStats, err := mudbscan.ClusterDistributed(catalog, eps, minPts, *ranks,
+	// Distributed run over simulated ranks — the ranks really run
+	// concurrently (see WithSerialSimulation for the timing-isolation mode).
+	distRes, distStats, err := mudbscan.ClusterDistributed(catalog, eps, minPts, ranks,
 		mudbscan.WithSampleSize(512), mudbscan.WithSeed(1))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("μDBSCAN-D on %d ranks: %d groups, halo copies exchanged: %d, comm: %d KiB\n",
+	fmt.Fprintf(w, "μDBSCAN-D on %d ranks: %d groups, halo copies exchanged: %d, comm: %d KiB, wall-clock: %v\n",
 		distStats.Ranks, distRes.NumClusters, distStats.HaloPoints,
-		(distStats.Comm.TotalBytes()+distStats.MergeBytes)/1024)
+		(distStats.Comm.TotalBytes()+distStats.MergeBytes)/1024, distStats.WallClock)
 	if distRes.NumClusters != seq.NumClusters {
-		log.Fatalf("exactness violated: %d vs %d groups", distRes.NumClusters, seq.NumClusters)
+		return fmt.Errorf("exactness violated: %d vs %d groups", distRes.NumClusters, seq.NumClusters)
 	}
-	fmt.Println("distributed result matches the sequential clustering exactly")
+	fmt.Fprintln(w, "distributed result matches the sequential clustering exactly")
 
 	// Rank the richest groups, like a halo mass function.
 	sizes := make(map[int]int)
@@ -72,14 +80,20 @@ func main() {
 	for id, size := range sizes {
 		groups = append(groups, group{id, size})
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].size > groups[j].size })
-	fmt.Println("richest groups:")
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].size != groups[j].size {
+			return groups[i].size > groups[j].size
+		}
+		return groups[i].id < groups[j].id
+	})
+	fmt.Fprintln(w, "richest groups:")
 	for i, g := range groups {
 		if i == 5 {
 			break
 		}
-		fmt.Printf("  group %3d: %6d members\n", g.id, g.size)
+		fmt.Fprintf(w, "  group %3d: %6d members\n", g.id, g.size)
 	}
+	return nil
 }
 
 // makeCatalog synthesizes the galaxy catalog: halos with power-law masses,

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	if err := run(io.Discard, 4000, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"time"
 
 	"mudbscan"
@@ -27,27 +29,32 @@ func main() {
 	n := flag.Int("n", 20000, "number of feature vectors")
 	dim := flag.Int("dim", 30, "dimensionality")
 	flag.Parse()
+	if err := run(os.Stdout, *n, *dim); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	vectors, trueLabel := makeAssays(*n, *dim, 11)
-	eps := 220 * math.Sqrt(float64(*dim)/14)
+func run(w io.Writer, n, dim int) error {
+	vectors, trueLabel := makeAssays(n, dim, 11)
+	eps := 220 * math.Sqrt(float64(dim)/14)
 	const minPts = 5
-	fmt.Printf("assay vectors: %d x %dD, eps=%.0f MinPts=%d\n", len(vectors), *dim, eps, minPts)
+	fmt.Fprintf(w, "assay vectors: %d x %dD, eps=%.0f MinPts=%d\n", len(vectors), dim, eps, minPts)
 
 	start := time.Now()
 	par, stats, err := mudbscan.ClusterParallel(vectors, eps, minPts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("parallel μDBSCAN (%d workers): %v, %d clusters, %d noise, %.1f%% queries saved\n",
+	fmt.Fprintf(w, "parallel μDBSCAN (%d workers): %v, %d clusters, %d noise, %.1f%% queries saved\n",
 		stats.Workers, time.Since(start).Round(time.Millisecond),
 		par.NumClusters, par.NumNoise(), 100*float64(stats.QueriesSaved)/float64(len(vectors)))
 
 	start = time.Now()
 	seq, _, err := mudbscan.ClusterWithStats(vectors, eps, minPts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("sequential μDBSCAN: %v, %d clusters (parallel result is exact: %v)\n",
+	fmt.Fprintf(w, "sequential μDBSCAN: %v, %d clusters (parallel result is exact: %v)\n",
 		time.Since(start).Round(time.Millisecond), seq.NumClusters,
 		par.NumClusters == seq.NumClusters)
 
@@ -75,8 +82,9 @@ func main() {
 		agree += best
 	}
 	if total > 0 {
-		fmt.Printf("cluster purity vs generating families: %.1f%%\n", 100*float64(agree)/float64(total))
+		fmt.Fprintf(w, "cluster purity vs generating families: %.1f%%\n", 100*float64(agree)/float64(total))
 	}
+	return nil
 }
 
 // makeAssays builds dim-dimensional vectors from a few anisotropic

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	if err := run(io.Discard, 2000, 20); err != nil {
+		t.Fatal(err)
+	}
+}

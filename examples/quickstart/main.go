@@ -6,12 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mudbscan"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	points := [][]float64{
 		// A tight square near the origin...
 		{1.0, 1.0}, {1.1, 1.0}, {1.0, 1.1}, {1.1, 1.1}, {1.05, 1.05},
@@ -23,12 +31,12 @@ func main() {
 
 	result, stats, err := mudbscan.ClusterWithStats(points, 0.5, 3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("clusters: %d, core points: %d, noise points: %d\n",
+	fmt.Fprintf(w, "clusters: %d, core points: %d, noise points: %d\n",
 		result.NumClusters, result.NumCorePoints(), result.NumNoise())
-	fmt.Printf("micro-clusters: %d, queries run: %d, queries saved: %d (%.1f%%)\n",
+	fmt.Fprintf(w, "micro-clusters: %d, queries run: %d, queries saved: %d (%.1f%%)\n",
 		stats.NumMCs, stats.Queries, stats.QueriesSaved, stats.QuerySavedPct())
 	for i, label := range result.Labels {
 		tag := fmt.Sprintf("cluster %d", label)
@@ -41,6 +49,7 @@ func main() {
 		} else if label == mudbscan.Noise {
 			kind = "noise"
 		}
-		fmt.Printf("  point %2d %v -> %s (%s)\n", i, points[i], tag, kind)
+		fmt.Fprintf(w, "  point %2d %v -> %s (%s)\n", i, points[i], tag, kind)
 	}
+	return nil
 }

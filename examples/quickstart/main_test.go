@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "clusters: 2") {
+		t.Fatalf("expected two clusters in output:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "noise points: 1") {
+		t.Fatalf("expected one noise point in output:\n%s", sb.String())
+	}
+}

@@ -16,9 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"time"
 
 	"mudbscan"
@@ -27,19 +29,24 @@ import (
 func main() {
 	n := flag.Int("n", 50000, "number of GPS fixes")
 	flag.Parse()
+	if err := run(os.Stdout, *n); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	fixes, corrupted := makeTraces(*n, 7)
+func run(w io.Writer, n int) error {
+	fixes, corrupted := makeTraces(n, 7)
 	const (
 		eps    = 0.18
 		minPts = 5
 	)
-	fmt.Printf("GPS fixes: %d (%d corrupted), eps=%.2f MinPts=%d\n",
+	fmt.Fprintf(w, "GPS fixes: %d (%d corrupted), eps=%.2f MinPts=%d\n",
 		len(fixes), len(corrupted), eps, minPts)
 
 	start := time.Now()
 	result, stats, err := mudbscan.ClusterWithStats(fixes, eps, minPts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(start)
 
@@ -60,11 +67,14 @@ func main() {
 	if len(flagged) > 0 {
 		precision = float64(hits) / float64(len(flagged))
 	}
-	recall := float64(hits) / float64(len(corrupted))
-	fmt.Printf("μDBSCAN: %v, %d road segments (clusters), %d flagged outliers\n",
+	recall := 0.0
+	if len(corrupted) > 0 {
+		recall = float64(hits) / float64(len(corrupted))
+	}
+	fmt.Fprintf(w, "μDBSCAN: %v, %d road segments (clusters), %d flagged outliers\n",
 		elapsed.Round(time.Millisecond), result.NumClusters, len(flagged))
-	fmt.Printf("outlier detection: recall %.1f%%, precision %.1f%%\n", 100*recall, 100*precision)
-	fmt.Printf("queries saved by micro-clusters: %d of %d (%.1f%%)\n",
+	fmt.Fprintf(w, "outlier detection: recall %.1f%%, precision %.1f%%\n", 100*recall, 100*precision)
+	fmt.Fprintf(w, "queries saved by micro-clusters: %d of %d (%.1f%%)\n",
 		stats.QueriesSaved, stats.Queries+stats.QueriesSaved, stats.QuerySavedPct())
 
 	// The same clustering with query reduction off: identical result,
@@ -73,11 +83,12 @@ func main() {
 	plain, plainStats, err := mudbscan.ClusterWithStats(fixes, eps, minPts,
 		mudbscan.WithoutQueryReduction())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("without query reduction: %v, %d queries (result identical: %v)\n",
+	fmt.Fprintf(w, "without query reduction: %v, %d queries (result identical: %v)\n",
 		time.Since(start).Round(time.Millisecond), plainStats.Queries,
 		plain.NumClusters == result.NumClusters)
+	return nil
 }
 
 // makeTraces builds jittered fixes along a random road graph and corrupts a

@@ -12,69 +12,88 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"mudbscan"
 )
 
 func main() {
+	if err := run(os.Stdout, 5000, 20000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run drives the two stream clusterers with phase1 readings from the first
+// sensor pair and phase2 readings after the population change.
+func run(w io.Writer, phase1, phase2 int) error {
 	damped, err := mudbscan.NewStreamClusterer(2, 0.5, 10, mudbscan.StreamOptions{
 		Lambda:           0.005,
 		MaintenanceEvery: 512,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	landmark, err := mudbscan.NewStreamClusterer(2, 0.5, 10, mudbscan.StreamOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(7))
 	// emit interleaves readings from the live sensors point by point, the
 	// way concurrent sensors actually arrive.
-	emit := func(n int, sensors ...[2]float64) {
+	emit := func(n int, sensors ...[2]float64) error {
 		for i := 0; i < n; i++ {
 			s := sensors[i%len(sensors)]
 			p := []float64{s[0] + rng.NormFloat64()*0.3, s[1] + rng.NormFloat64()*0.3}
 			if err := damped.Add(p); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := landmark.Add(p); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
+		return nil
 	}
 
 	// Phase 1: sensors A (0,0) and B (20,20) both alive.
-	emit(5000, [2]float64{0, 0}, [2]float64{20, 20})
+	if err := emit(phase1, [2]float64{0, 0}, [2]float64{20, 20}); err != nil {
+		return err
+	}
 	s := damped.Snapshot()
-	fmt.Printf("phase 1: damped window sees %d sensor groups from %d micro-clusters\n",
+	fmt.Fprintf(w, "phase 1: damped window sees %d sensor groups from %d micro-clusters\n",
 		s.NumClusters, damped.Len())
 
 	// Phase 2: sensor A dies; sensor C (40, -10) comes online.
-	emit(20000, [2]float64{20, 20}, [2]float64{40, -10})
+	if err := emit(phase2, [2]float64{20, 20}, [2]float64{40, -10}); err != nil {
+		return err
+	}
 
 	ds := damped.Snapshot()
 	ls := landmark.Snapshot()
-	fmt.Printf("phase 2: damped window sees %d groups (pruned %d stale micro-clusters)\n",
+	fmt.Fprintf(w, "phase 2: damped window sees %d groups (pruned %d stale micro-clusters)\n",
 		ds.NumClusters, damped.Pruned)
-	fmt.Printf("phase 2: landmark window still sees %d groups\n", ls.NumClusters)
+	fmt.Fprintf(w, "phase 2: landmark window still sees %d groups\n", ls.NumClusters)
 
-	probes := map[string][]float64{
-		"dead sensor A region": {0, 0},
-		"sensor B region":      {20, 20},
-		"new sensor C region":  {40, -10},
-		"empty space":          {-15, 30},
+	probes := []struct {
+		name string
+		p    []float64
+	}{
+		{"dead sensor A region", []float64{0, 0}},
+		{"sensor B region", []float64{20, 20}},
+		{"new sensor C region", []float64{40, -10}},
+		{"empty space", []float64{-15, 30}},
 	}
-	fmt.Println("probing the damped snapshot:")
-	for name, p := range probes {
-		label := ds.Assign(p)
+	fmt.Fprintln(w, "probing the damped snapshot:")
+	for _, probe := range probes {
+		label := ds.Assign(probe.p)
 		verdict := fmt.Sprintf("group %d", label)
 		if label == -1 {
 			verdict = "anomalous (no active group)"
 		}
-		fmt.Printf("  %-22s -> %s\n", name, verdict)
+		fmt.Fprintf(w, "  %-22s -> %s\n", probe.name, verdict)
 	}
+	return nil
 }

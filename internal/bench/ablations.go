@@ -40,7 +40,7 @@ func Ablations(cfg Config) error {
 		name   string
 		sample int
 	}{{"exact", 0}, {"sampled (512/rank)", 512}} {
-		_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, 8, dist.Options{SampleSize: v.sample, Seed: 1})
+		_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, 8, dist.Options{SampleSize: v.sample, Seed: 1, Exec: dist.ExecSerial})
 		if err != nil {
 			return err
 		}

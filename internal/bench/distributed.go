@@ -13,10 +13,12 @@ import (
 // distAlgo adapts the distributed algorithms to one signature.
 type distAlgo func(pts []geom.Point, eps float64, minPts, p int, opts dist.Options) (*clustering.Result, *dist.Stats, error)
 
-// runDist runs one distributed algorithm and formats its total time, or the
-// error marker the paper uses.
+// runDist runs one distributed algorithm under the serial simulation (the
+// tables' isolation-timing methodology; see the wallclock experiment for
+// the concurrent driver) and formats its total time, or the error marker
+// the paper uses.
 func runDist(algo distAlgo, pts []geom.Point, eps float64, minPts, ranks int) string {
-	_, st, err := algo(pts, eps, minPts, ranks, dist.Options{Seed: 1})
+	_, st, err := algo(pts, eps, minPts, ranks, dist.Options{Seed: 1, Exec: dist.ExecSerial})
 	if err != nil {
 		return "-"
 	}
@@ -87,7 +89,7 @@ func Table7(cfg Config) error {
 	splits := make([]split, len(specs))
 	for i, s := range specs {
 		pts := s.Points(cfg.Scale)
-		_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, cfg.Ranks, dist.Options{Seed: 1})
+		_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, cfg.Ranks, dist.Options{Seed: 1, Exec: dist.ExecSerial})
 		if err != nil {
 			return err
 		}
@@ -129,7 +131,7 @@ func Table8(cfg Config) error {
 	var seqStats *core.Stats
 	seqTotal := timed(func() { _, seqStats = core.Run(pts, s.Eps, s.MinPts, core.Options{}) })
 
-	_, dst, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, cfg.Ranks, dist.Options{Seed: 1})
+	_, dst, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, cfg.Ranks, dist.Options{Seed: 1, Exec: dist.ExecSerial})
 	if err != nil {
 		return err
 	}

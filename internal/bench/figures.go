@@ -83,7 +83,7 @@ func Fig7(cfg Config) error {
 		seq := timed(func() { core.Run(pts, s.Eps, s.MinPts, core.Options{}) })
 		row := []string{s.ScaledName(cfg.Scale), seconds(seq)}
 		for _, p := range ranks {
-			_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, p, dist.Options{Seed: 1})
+			_, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, p, dist.Options{Seed: 1, Exec: dist.ExecSerial})
 			if err != nil {
 				row = append(row, "-")
 				continue

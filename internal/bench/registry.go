@@ -28,6 +28,7 @@ func Experiments() []Experiment {
 		{"fig6", "run time vs dimensionality (Figure 6)", Fig6},
 		{"fig7", "speedup vs ranks (Figure 7)", Fig7},
 		{"shared", "shared-memory multi-core phase split across worker counts", SharedMemory},
+		{"wallclock", "μDBSCAN-D simulated vs real wall-clock across rank counts", Wallclock},
 		{"ablations", "design-choice ablations (DESIGN.md §5)", Ablations},
 	}
 }

@@ -145,20 +145,69 @@ type LocalResult struct {
 // merge phase. With localCount == len(pts) this is exactly sequential
 // μDBSCAN.
 func RunLocal(pts []geom.Point, eps float64, minPts int, localCount int, opts Options) *LocalResult {
-	st := &Stats{}
-	n := len(pts)
-	if n == 0 {
-		return &LocalResult{Stats: st, NoiseNbhd: map[int32][]int32{}}
+	if len(pts) == 0 {
+		return &LocalResult{Stats: &Stats{}, NoiseNbhd: map[int32][]int32{}}
 	}
+	return StartLocal(pts[:localCount], eps, minPts, opts).Finish(pts[localCount:])
+}
 
-	// Step 1: μR-tree construction (micro-clusters, aux trees, kinds).
+// LocalBuild is a μDBSCAN run whose μR-tree construction has started over
+// the rank's local points but whose halo points have not arrived yet. The
+// concurrent distributed driver creates one right after initiating the halo
+// exchange, so index construction overlaps the in-flight communication;
+// Finish completes the run once the halo payloads land.
+type LocalBuild struct {
+	b          *mc.Builder
+	eps        float64
+	minPts     int
+	localCount int
+	opts       Options
+	st         *Stats
+	// localBuildTime is the tree-construction time spent before Finish, so
+	// the reported TreeConstruction step excludes any time the caller spent
+	// waiting on communication between StartLocal and Finish.
+	localBuildTime time.Duration
+}
+
+// StartLocal begins a μDBSCAN run over the rank's local points (at least
+// one). Splitting StartLocal+Finish at any point of the combined local+halo
+// sequence produces exactly the result of RunLocal over the concatenation:
+// micro-cluster construction scans points one at a time and the deferred
+// pass runs only after all points are added, so batch boundaries are
+// invisible to Algorithm 3.
+func StartLocal(localPts []geom.Point, eps float64, minPts int, opts Options) *LocalBuild {
+	lb := &LocalBuild{
+		eps:        eps,
+		minPts:     minPts,
+		localCount: len(localPts),
+		opts:       opts,
+		st:         &Stats{},
+	}
 	start := time.Now()
-	ix := mc.Build(pts, eps, minPts, mc.Options{
+	lb.b = mc.NewBuilder(len(localPts[0]), eps, minPts, mc.Options{
 		Fanout:        opts.Fanout,
 		NoDeferral:    opts.NoDeferral,
 		SkipReachable: true,
 	})
-	st.Steps.TreeConstruction = time.Since(start)
+	lb.b.Add(localPts)
+	lb.localBuildTime = time.Since(start)
+	return lb
+}
+
+// Finish adds the halo points, completes the μR-tree and runs the remaining
+// μDBSCAN steps over the combined point set.
+func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
+	st := lb.st
+	eps, minPts, localCount, opts := lb.eps, lb.minPts, lb.localCount, lb.opts
+
+	// Step 1 (continued): halo points join the micro-clusters, then aux
+	// trees and kinds are finalized.
+	start := time.Now()
+	lb.b.Add(haloPts)
+	ix := lb.b.Finish()
+	pts := lb.b.Points()
+	n := len(pts)
+	st.Steps.TreeConstruction = lb.localBuildTime + time.Since(start)
 	st.NumMCs = ix.NumMCs()
 
 	// Step 2: reachable micro-cluster lists. Even under the

@@ -1,0 +1,217 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mpi"
+	"mudbscan/internal/partition"
+	"mudbscan/internal/unionfind"
+)
+
+// flagTag carries the merge phase's exact-core flag pushes; distinct from
+// every tag the partition and halo phases use.
+const flagTag = -1081
+
+// rankOut is what one concurrently-executing rank reports back to the
+// driver. Each rank writes only its own slot; the mpi.Run join provides the
+// happens-before edge for the driver's reads.
+type rankOut struct {
+	partTime  time.Duration
+	haloTime  time.Duration
+	mergeTime time.Duration
+	stats     *core.Stats
+	haloCount int
+	pairs     int
+	mergeB    int64
+}
+
+// runConcurrent executes the shared skeleton with every rank running its
+// whole pipeline in its own goroutine:
+//
+//   - the halo exchange is initiated non-blocking (mpi.IAlltoall) and its
+//     in-flight time is overlapped with μR-tree construction over the
+//     rank's local points (core.StartLocal) when the algorithm supports
+//     incremental construction;
+//   - the merge pushes exact core flags as real messages over the runtime;
+//     while they are in flight each rank folds its local components into a
+//     shared concurrent union-find, then resolves the flag-dependent
+//     deferred pairs and noise rectification when the flags land.
+//
+// The clustering returned is byte-identical to runSerial's: the per-rank
+// local results are computed by the same code over the same point orders,
+// the exact flags are applied to the same halo slots, and the global union
+// structure is order-insensitive (FromUnionLabels numbers clusters by first
+// appearance, independent of union-find representatives).
+//
+// Reported per-phase maxima are measured inside the contended goroutines,
+// so on a host with fewer cores than ranks they are inflated by
+// time-sharing; Stats.WallClock is the quantity this driver optimizes. Use
+// ExecSerial for the paper-table simulation methodology.
+func runConcurrent(pts []geom.Point, eps float64, minPts, p int, opts Options, algo localAlgo) (*clustering.Result, *Stats, error) {
+	n := len(pts)
+	if n == 0 {
+		return &clustering.Result{}, &Stats{Ranks: p}, nil
+	}
+	wallStart := time.Now()
+	dim := len(pts[0])
+	st := &Stats{Ranks: p}
+
+	outs := make([]rankOut, p)
+	guf := unionfind.NewConcurrent(n)
+	// globalCore is written at disjoint indices: every point is owned by
+	// exactly one rank.
+	globalCore := make([]bool, n)
+
+	comm, err := mpi.Run(p, func(c *mpi.Comm) error {
+		rank := c.Rank()
+		out := &outs[rank]
+
+		// Phase 1: kd partitioning (collective).
+		t0 := time.Now()
+		part, err := partition.KD(c, partition.Scatter(rank, p, pts), dim, opts.SampleSize, opts.Seed)
+		if err != nil {
+			return err
+		}
+		out.partTime = time.Since(t0)
+
+		// Phase 2: initiate the ε-extended halo exchange without waiting.
+		t0 = time.Now()
+		bufs, sentTo := haloSendBuffers(part, eps, dim, rank, p)
+		xchg := c.IAlltoall(bufs)
+		haloInit := time.Since(t0)
+
+		// Phase 3a: overlap — start local μR-tree construction while the
+		// halo payloads are in flight.
+		localCount := len(part.Local)
+		localPts := make([]geom.Point, localCount)
+		gids := make([]int64, localCount)
+		for i, rec := range part.Local {
+			localPts[i] = rec.Pt
+			gids[i] = rec.ID
+		}
+		var finish func(haloPts []geom.Point) *core.LocalResult
+		if algo.start != nil && localCount > 0 {
+			finish = algo.start(localPts, eps, minPts)
+		}
+
+		// Phase 3b: complete the exchange and the local clustering.
+		t0 = time.Now()
+		recv := xchg.Wait()
+		var haloPts []geom.Point
+		haloFrom := make([]int, p)
+		for src := 0; src < p; src++ {
+			if src == rank {
+				continue
+			}
+			recs := decodeRecords(recv[src], dim)
+			haloFrom[src] = len(recs)
+			for _, rec := range recs {
+				haloPts = append(haloPts, rec.Pt)
+				gids = append(gids, rec.ID)
+			}
+		}
+		out.haloTime = haloInit + time.Since(t0)
+		out.haloCount = len(haloPts)
+
+		var lr *core.LocalResult
+		switch {
+		case localCount == 0:
+			lr = inertLocalResult(len(gids))
+		case finish != nil:
+			lr = finish(haloPts)
+		default:
+			combined := make([]geom.Point, 0, len(gids))
+			combined = append(combined, localPts...)
+			combined = append(combined, haloPts...)
+			lr = algo.run(combined, eps, minPts, localCount)
+		}
+		out.stats = lr.Stats
+		out.pairs = len(lr.Pairs)
+
+		// Phase 4: merge. Push exact core flags for every exported halo
+		// copy as real messages, and overlap their flight with the part of
+		// the merge that does not need them.
+		t0 = time.Now()
+		for dst := 0; dst < p; dst++ {
+			if dst == rank {
+				continue
+			}
+			fl := make([]byte, len(sentTo[dst]))
+			for k, li := range sentTo[dst] {
+				if lr.Core[li] {
+					fl[k] = 1
+				}
+			}
+			out.mergeB += int64(len(fl))
+			c.Isend(dst, flagTag, fl)
+		}
+		for i := 0; i < localCount; i++ {
+			globalCore[gids[i]] = lr.Core[i]
+		}
+		comp := componentEdges(lr, gids)
+		for _, e := range comp {
+			guf.Union(int(e[0]), int(e[1]))
+		}
+
+		// Collect the exact flags: source-rank order, then send order —
+		// the same slot layout the serial driver reconstructs.
+		exact := make([]bool, len(gids))
+		copy(exact, lr.Core)
+		cur := localCount
+		for src := 0; src < p; src++ {
+			if src == rank {
+				continue
+			}
+			fl := c.Recv(src, flagTag)
+			if len(fl) != haloFrom[src] {
+				return fmt.Errorf("dist: rank %d got %d flags from %d, want %d", rank, len(fl), src, haloFrom[src])
+			}
+			for _, b := range fl {
+				if b != 0 {
+					exact[cur] = true
+				}
+				cur++
+			}
+		}
+		deferred := deferredEdges(lr, gids, exact)
+		for _, e := range deferred {
+			guf.Union(int(e[0]), int(e[1]))
+		}
+		out.mergeB += int64((len(comp) + len(deferred)) * 16)
+		out.mergeTime = time.Since(t0)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Comm = comm
+
+	for r := 0; r < p; r++ {
+		o := &outs[r]
+		steps := o.stats.Steps
+		st.Phases.Partition = maxDur(st.Phases.Partition, o.partTime)
+		st.Phases.HaloExchange = maxDur(st.Phases.HaloExchange, o.haloTime)
+		st.Phases.TreeConstruction = maxDur(st.Phases.TreeConstruction, steps.TreeConstruction)
+		st.Phases.FindingReachable = maxDur(st.Phases.FindingReachable, steps.FindingReachable)
+		st.Phases.Clustering = maxDur(st.Phases.Clustering, steps.Clustering)
+		st.Phases.PostProcessing = maxDur(st.Phases.PostProcessing, steps.PostProcessing)
+		st.Phases.Merge = maxDur(st.Phases.Merge, o.mergeTime)
+		st.Queries += int64(o.stats.Queries)
+		st.QueriesSaved += int64(o.stats.QueriesSaved)
+		st.NumMCs += int64(o.stats.NumMCs)
+		st.HaloPoints += int64(o.haloCount)
+		st.PairsDeferred += int64(o.pairs)
+		st.MergeBytes += o.mergeB
+	}
+
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = guf.Find(i)
+	}
+	st.WallClock = time.Since(wallStart)
+	return clustering.FromUnionLabels(comp, globalCore), st, nil
+}

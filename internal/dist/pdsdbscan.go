@@ -15,7 +15,7 @@ import (
 // DBSCAN over a single R-tree: one ε-neighborhood query for *every* local
 // point, with no query savings and no two-level index.
 func PDSDBSCAND(pts []geom.Point, eps float64, minPts, p int, opts Options) (*clustering.Result, *Stats, error) {
-	return runDistributed(pts, eps, minPts, p, opts, func(combined []geom.Point, e float64, mp, localCount int) *core.LocalResult {
+	return runDistributed(pts, eps, minPts, p, opts, localAlgo{run: func(combined []geom.Point, e float64, mp, localCount int) *core.LocalResult {
 		st := &core.Stats{}
 		start := time.Now()
 		tree := rtree.BulkLoad(len(combined[0]), 0, combined, nil)
@@ -26,5 +26,5 @@ func PDSDBSCAND(pts []geom.Point, eps float64, minPts, p int, opts Options) (*cl
 			})
 		}
 		return localDriver(combined, e, mp, localCount, nil, nil, query, nil, st)
-	})
+	}})
 }

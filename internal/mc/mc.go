@@ -107,57 +107,102 @@ type Index struct {
 // are then inserted (joining an MC within ε or seeding one). Finally the
 // auxiliary R-trees, inner circles, kinds and reachable lists are computed.
 func Build(pts []geom.Point, eps float64, minPts int, opts Options) *Index {
+	if len(pts) == 0 {
+		panic("mc: empty dataset")
+	}
+	b := NewBuilder(len(pts[0]), eps, minPts, opts)
+	b.Add(pts)
+	return b.Finish()
+}
+
+// Builder constructs an Index incrementally: points arrive in one or more
+// Add batches and Finish runs the deferred-point pass plus finalization.
+// Feeding the same points in the same order through any batch split yields
+// an Index identical to a single Build call, because Algorithm 3's scan is
+// one-point-at-a-time and the deferred pass runs only once, after all
+// points are known. μDBSCAN-D uses this to overlap the halo exchange with
+// μR-tree construction: the rank Adds its local points while the halo
+// payloads are in flight, then Adds the halo points and Finishes.
+type Builder struct {
+	ix         *Index
+	pts        []geom.Point
+	unassigned []int32
+	finished   bool
+}
+
+// NewBuilder prepares an empty Builder for dim-dimensional points.
+func NewBuilder(dim int, eps float64, minPts int, opts Options) *Builder {
 	if eps <= 0 {
 		panic("mc: eps must be positive")
 	}
 	if minPts < 1 {
 		panic("mc: minPts must be at least 1")
 	}
-	if len(pts) == 0 {
-		panic("mc: empty dataset")
-	}
-	dim := len(pts[0])
 	if opts.Fanout <= 0 {
 		opts.Fanout = rtree.DefaultMaxEntries
 	}
-	ix := &Index{
-		Eps:     eps,
-		MinPts:  minPts,
-		Dim:     dim,
-		PointMC: make([]int32, len(pts)),
-		centers: rtree.New(dim, opts.Fanout),
-		opts:    opts,
+	return &Builder{
+		ix: &Index{
+			Eps:     eps,
+			MinPts:  minPts,
+			Dim:     dim,
+			centers: rtree.New(dim, opts.Fanout),
+			opts:    opts,
+		},
 	}
-	for i := range ix.PointMC {
-		ix.PointMC[i] = -1
-	}
+}
 
-	var unassigned []int32
-	for i, p := range pts {
+// Add scans the batch per Algorithm 3. Point ids continue from previous
+// batches.
+func (b *Builder) Add(pts []geom.Point) {
+	if b.finished {
+		panic("mc: Add after Finish")
+	}
+	ix := b.ix
+	for _, p := range pts {
+		i := len(b.pts)
+		b.pts = append(b.pts, p)
+		ix.PointMC = append(ix.PointMC, -1)
 		// The tight ε-radius nearest-center search succeeds for most points
 		// on dense data; only the misses pay for the wider 2ε existence
 		// probe that drives the deferral rule.
-		if mcID, _, ok := ix.centers.Nearest(p, eps, true); ok {
+		if mcID, _, ok := ix.centers.Nearest(p, ix.Eps, true); ok {
 			ix.addMember(mcID, i)
 			continue
 		}
-		if !opts.NoDeferral && ix.centers.Any(p, 2*eps, true) {
-			unassigned = append(unassigned, int32(i))
+		if !ix.opts.NoDeferral && ix.centers.Any(p, 2*ix.Eps, true) {
+			b.unassigned = append(b.unassigned, int32(i))
 			continue
 		}
 		ix.newMC(i, p)
 	}
-	for _, i := range unassigned {
-		p := pts[i]
-		mcID, _, ok := ix.centers.Nearest(p, eps, true)
+}
+
+// Points returns all points added so far, in id order. The slice is owned
+// by the Builder; treat it as read-only.
+func (b *Builder) Points() []geom.Point { return b.pts }
+
+// Finish inserts the deferred points and finalizes the Index (aux trees,
+// inner circles, kinds, and — unless SkipReachable — reachable lists).
+func (b *Builder) Finish() *Index {
+	if b.finished {
+		panic("mc: Finish called twice")
+	}
+	b.finished = true
+	if len(b.pts) == 0 {
+		panic("mc: empty dataset")
+	}
+	ix := b.ix
+	for _, i := range b.unassigned {
+		p := b.pts[i]
+		mcID, _, ok := ix.centers.Nearest(p, ix.Eps, true)
 		if ok {
 			ix.addMember(mcID, int(i))
 		} else {
 			ix.newMC(int(i), p)
 		}
 	}
-
-	ix.finalize(pts)
+	ix.finalize(b.pts)
 	return ix
 }
 

@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzCodecRoundTrip checks the wire codec both ways on arbitrary bytes:
+// decoding any buffer and re-encoding must reproduce the buffer's aligned
+// prefix bit for bit (trailing partial words are dropped), and every decoded
+// value must survive a second encode/decode unchanged — including NaN
+// payloads, infinities and negative zero, which the float codec preserves
+// by moving raw IEEE-754 bits rather than values.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(1))
+	f.Add(EncodeFloat64s([]float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 1.5}), byte(2))
+	f.Add(EncodeInt64s([]int64{-1, 0, math.MaxInt64, math.MinInt64}), byte(7))
+	f.Fuzz(func(t *testing.T, b []byte, dimByte byte) {
+		dim := int(dimByte)%8 + 1
+
+		ints := DecodeInt64s(b)
+		if got, want := EncodeInt64s(ints), b[:8*(len(b)/8)]; !bytes.Equal(got, want) {
+			t.Fatalf("int64 re-encode mismatch: %x vs %x", got, want)
+		}
+
+		floats := DecodeFloat64s(b)
+		if got, want := EncodeFloat64s(floats), b[:8*(len(b)/8)]; !bytes.Equal(got, want) {
+			t.Fatalf("float64 re-encode mismatch: %x vs %x", got, want)
+		}
+		again := DecodeFloat64s(EncodeFloat64s(floats))
+		for i := range floats {
+			if math.Float64bits(again[i]) != math.Float64bits(floats[i]) {
+				t.Fatalf("float64 value %d not bit-stable: %x vs %x",
+					i, math.Float64bits(again[i]), math.Float64bits(floats[i]))
+			}
+		}
+
+		pts := DecodePoints(b, dim)
+		stride := 8 * dim
+		for i, p := range pts {
+			if len(p) != dim {
+				t.Fatalf("point %d has %d coords, want %d", i, len(p), dim)
+			}
+		}
+		if got, want := EncodePoints(pts, dim), b[:stride*(len(b)/stride)]; !bytes.Equal(got, want) {
+			t.Fatalf("points re-encode mismatch at dim=%d", dim)
+		}
+	})
+}

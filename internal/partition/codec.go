@@ -19,13 +19,15 @@ func encodeRecords(recs []Record, dim int) []byte {
 	return append(head, body...)
 }
 
-// decodeRecords unpacks a buffer produced by encodeRecords.
+// decodeRecords unpacks a buffer produced by encodeRecords. A buffer whose
+// header does not match its length (negative count, or fewer id/coordinate
+// bytes than the count promises) decodes to nil rather than panicking.
 func decodeRecords(b []byte, dim int) []Record {
-	if len(b) < 8 {
+	if len(b) < 8 || dim <= 0 {
 		return nil
 	}
 	n := int(mpi.DecodeInt64s(b[:8])[0])
-	if n == 0 {
+	if n <= 0 || n > (len(b)-8)/(8*(1+dim)) {
 		return nil
 	}
 	ids := mpi.DecodeInt64s(b[8 : 8+8*n])

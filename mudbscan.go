@@ -17,7 +17,8 @@
 //   - ClusterParallel: multi-core shared-memory μDBSCAN.
 //   - ClusterDistributed: μDBSCAN-D over simulated message-passing ranks
 //     (spatial kd partitioning, ε-halo exchange, local clustering, query-free
-//     merge).
+//     merge); ranks run truly concurrently unless WithSerialSimulation
+//     selects the paper-table timing methodology.
 //
 // The usual entry point:
 //
@@ -64,6 +65,7 @@ type config struct {
 	workers     int
 	sampleSize  int
 	seed        int64
+	distSerial  bool
 }
 
 // Option customizes a clustering run.
@@ -88,6 +90,13 @@ func WithSampleSize(s int) Option { return func(c *config) { c.sampleSize = s } 
 
 // WithSeed seeds the partitioning sampler of ClusterDistributed.
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithSerialSimulation makes ClusterDistributed execute its compute phases
+// one rank at a time, each timed in isolation — the single-host simulation
+// methodology behind the paper's tables — instead of the default truly
+// concurrent rank execution. The clustering is identical either way; only
+// the timing statistics' meaning changes (see DistStats.WallClock).
+func WithSerialSimulation() Option { return func(c *config) { c.distSerial = true } }
 
 // validate checks the inputs shared by all entry points and converts the
 // point rows into the internal representation without copying coordinates.
@@ -178,9 +187,14 @@ func ClusterDistributed(points [][]float64, eps float64, minPts, ranks int, opts
 	if ranks < 1 {
 		return nil, nil, fmt.Errorf("mudbscan: ranks must be at least 1, got %d", ranks)
 	}
+	exec := dist.ExecConcurrent
+	if cfg.distSerial {
+		exec = dist.ExecSerial
+	}
 	return dist.MuDBSCAND(pts, eps, minPts, ranks, dist.Options{
 		SampleSize: cfg.sampleSize,
 		Seed:       cfg.seed,
 		Core:       core.Options{Fanout: cfg.fanout, DisableWndq: cfg.disableWndq},
+		Exec:       exec,
 	})
 }
