@@ -8,7 +8,7 @@
 //	benchtab -list                  # show available experiments
 //
 // Experiments: table1..table8, fig5..fig7, shared, wallclock, ablations,
-// all. The tables and figures use the serial rank simulation (isolation
+// kernels, all. The tables and figures use the serial rank simulation (isolation
 // timing, the paper's methodology); wallclock additionally runs the
 // concurrent driver and reports real end-to-end wall-clock next to the
 // simulated totals. See DESIGN.md §4 for the mapping to the paper, and
@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"mudbscan/internal/bench"
+	"mudbscan/internal/prof"
 )
 
 func main() {
@@ -35,10 +36,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "", "experiment to run (see -list), or \"all\"")
-		scale = fs.Float64("scale", 1.0, "dataset size multiplier")
-		ranks = fs.Int("ranks", 32, "simulated rank count for distributed experiments")
-		list  = fs.Bool("list", false, "list available experiments")
+		exp        = fs.String("exp", "", "experiment to run (see -list), or \"all\"")
+		scale      = fs.Float64("scale", 1.0, "dataset size multiplier")
+		ranks      = fs.Int("ranks", 32, "simulated rank count for distributed experiments")
+		list       = fs.Bool("list", false, "list available experiments")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,9 +55,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *exp == "" {
 		return fmt.Errorf("-exp is required (or -list)")
 	}
-	return bench.RunExperiment(*exp, bench.Config{
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	runErr := bench.RunExperiment(*exp, bench.Config{
 		Out:   stdout,
 		Scale: *scale,
 		Ranks: *ranks,
 	})
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
 }

@@ -25,6 +25,7 @@ import (
 	"mudbscan"
 	"mudbscan/internal/data"
 	"mudbscan/internal/geom"
+	"mudbscan/internal/prof"
 )
 
 func main() {
@@ -34,7 +35,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mudbscan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -48,6 +49,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		outPath = fs.String("out", "-", "output labels file (- = stdout)")
 		stats   = fs.Bool("stats", false, "print run statistics to stderr")
 		suggest = fs.Bool("suggest-eps", false, "print a suggested eps from the k-distance elbow and exit")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *eps <= 0 && !*suggest {
 		return fmt.Errorf("-eps is required and must be positive")
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	pts, err := readPoints(*inPath, stdin)
 	if err != nil {

@@ -30,6 +30,7 @@ func Experiments() []Experiment {
 		{"shared", "shared-memory multi-core phase split across worker counts", SharedMemory},
 		{"wallclock", "μDBSCAN-D simulated vs real wall-clock across rank counts", Wallclock},
 		{"ablations", "design-choice ablations (DESIGN.md §5)", Ablations},
+		{"kernels", "flattened hot-path layout vs legacy (kernel + block-scan speedups)", Kernels},
 	}
 }
 

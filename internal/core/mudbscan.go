@@ -205,8 +205,8 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 	start := time.Now()
 	lb.b.Add(haloPts)
 	ix := lb.b.Finish()
-	pts := lb.b.Points()
-	n := len(pts)
+	set := ix.Points
+	n := set.Len()
 	st.Steps.TreeConstruction = lb.localBuildTime + time.Since(start)
 	st.NumMCs = ix.NumMCs()
 
@@ -220,7 +220,7 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 	// Step 3: preliminary clusters from DMC/CMC, then neighborhood queries
 	// with dynamic wndq-core identification.
 	start = time.Now()
-	r := newRun(pts, eps, minPts, localCount, ix, opts, st)
+	r := newRun(set, eps, minPts, localCount, ix, opts, st)
 	if !opts.DisableWndq {
 		r.preliminaryClusters()
 	}
@@ -255,7 +255,8 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 
 // run carries the mutable state of one μDBSCAN execution.
 type run struct {
-	pts        []geom.Point
+	set        *geom.PointSet
+	kern       geom.DistSqKernel
 	eps        float64
 	minPts     int
 	localCount int
@@ -268,6 +269,11 @@ type run struct {
 	wndq     []bool // core, proven without a query (skip its query)
 	assigned []bool // non-core point already claimed by a cluster
 	queried  []bool
+
+	// Scratch buffers reused across every neighborhood query; processPoint
+	// runs allocation-free once they have warmed to the largest neighborhood.
+	nbhd  []int
+	inner []bool
 
 	wndqList  []int32
 	noiseList []noiseEntry
@@ -312,10 +318,11 @@ type noiseEntry struct {
 	nbhd []int32
 }
 
-func newRun(pts []geom.Point, eps float64, minPts, localCount int, ix *mc.Index, opts Options, st *Stats) *run {
-	n := len(pts)
+func newRun(set *geom.PointSet, eps float64, minPts, localCount int, ix *mc.Index, opts Options, st *Stats) *run {
+	n := set.Len()
 	return &run{
-		pts: pts, eps: eps, minPts: minPts, localCount: localCount,
+		set: set, kern: geom.KernelFor(set.Dim()),
+		eps: eps, minPts: minPts, localCount: localCount,
 		ix: ix, opts: opts, st: st,
 		uf:       unionfind.New(n),
 		core:     make([]bool, n),
@@ -383,78 +390,85 @@ func (r *run) markWndq(id int32, fromMC bool) {
 // for every point not known core, with dense ε/2-balls promoting their
 // members to wndq-core.
 func (r *run) processRemaining() {
-	half2 := (r.eps / 2) * (r.eps / 2)
-	// Reused per-query buffers.
-	var nbhd []int32
-	var inner []bool
 	for i := 0; i < r.localCount; i++ {
 		if r.wndq[i] {
 			continue
 		}
-		p := r.pts[i]
-		nbhd = nbhd[:0]
-		inner = inner[:0]
-		innerCount := 0
-		collect := func(id int, pt geom.Point) {
-			nbhd = append(nbhd, int32(id))
-			in := geom.DistSq(p, pt) < half2
-			inner = append(inner, in)
-			if in {
-				innerCount++
-			}
-		}
-		var calcs int
-		if r.opts.WholeSpaceQueries {
-			calcs = r.ix.WholeSpaceNeighborhood(p, collect)
-		} else {
-			calcs, _ = r.ix.EpsNeighborhood(p, i, collect)
-		}
-		r.st.DistCalcs += int64(calcs) + int64(len(nbhd)) // query + inner-circle tests
-		r.queried[i] = true
+		r.processPoint(i)
+	}
+}
 
-		if len(nbhd) < r.minPts {
-			// A point already claimed as a border (e.g. by a preliminary
-			// DMC/CMC union) must stay in that cluster: attaching it to the
-			// first core in its own neighborhood could bridge two clusters
-			// through a non-core point.
-			if r.assigned[i] {
-				continue
-			}
-			joined := false
-			for _, q := range nbhd {
-				if r.core[q] {
-					r.uf.Union(int(q), i)
-					r.assigned[i] = true
-					joined = true
-					break
-				}
-			}
-			if !joined {
-				r.noiseList = append(r.noiseList, noiseEntry{
-					id:   int32(i),
-					nbhd: append([]int32(nil), nbhd...),
-				})
-			}
-			continue
+// processPoint runs the Algorithm 6 body for one point: the ε-neighborhood
+// query through the reused scratch buffers, the inner-circle pass, and the
+// core/border/noise resolution. In steady state (warm buffers, core-point
+// expansion) it performs zero heap allocations — the regression test pins
+// that down with testing.AllocsPerRun.
+func (r *run) processPoint(i int) {
+	half2 := (r.eps / 2) * (r.eps / 2)
+	p := r.set.Point(i)
+	var calcs int
+	if r.opts.WholeSpaceQueries {
+		r.nbhd, calcs = r.ix.WholeSpaceNeighborhoodInto(p, r.nbhd[:0])
+	} else {
+		r.nbhd, calcs, _ = r.ix.EpsNeighborhoodInto(p, i, r.nbhd[:0])
+	}
+	nbhd := r.nbhd
+	// Inner-circle tests: same one-distance-per-neighbor cost the query
+	// callback used to pay, now as a linear pass over the hit list.
+	if cap(r.inner) < len(nbhd) {
+		r.inner = make([]bool, len(nbhd))
+	}
+	inner := r.inner[:len(nbhd)]
+	innerCount := 0
+	for k, q := range nbhd {
+		in := r.kern(p, r.set.Row(q)) < half2
+		inner[k] = in
+		if in {
+			innerCount++
 		}
+	}
+	r.st.DistCalcs += int64(calcs) + int64(len(nbhd)) // query + inner-circle tests
+	r.queried[i] = true
 
-		r.core[i] = true
-		// Dynamic wndq-core promotion (Algorithm 6, FIND-NBHD lines 18-21):
-		// a dense ε/2-ball proves all its members core (their ε-balls
-		// contain it entirely).
-		if !r.opts.DisableWndq && innerCount >= r.minPts {
-			for k, q := range nbhd {
-				if inner[k] && int(q) != i && !r.core[q] {
-					r.markWndq(q, false)
-				}
-			}
+	if len(nbhd) < r.minPts {
+		// A point already claimed as a border (e.g. by a preliminary
+		// DMC/CMC union) must stay in that cluster: attaching it to the
+		// first core in its own neighborhood could bridge two clusters
+		// through a non-core point.
+		if r.assigned[i] {
+			return
 		}
 		for _, q := range nbhd {
-			if int(q) == i {
-				continue
+			if r.core[q] {
+				r.uf.Union(q, i)
+				r.assigned[i] = true
+				return
 			}
-			r.linkFromCore(int32(i), q)
 		}
+		saved := make([]int32, len(nbhd))
+		for k, q := range nbhd {
+			saved[k] = int32(q)
+		}
+		r.noiseList = append(r.noiseList, noiseEntry{id: int32(i), nbhd: saved})
+		return
+	}
+
+	r.core[i] = true
+	// Dynamic wndq-core promotion (Algorithm 6, FIND-NBHD lines 18-21):
+	// a dense ε/2-ball proves all its members core (their ε-balls
+	// contain it entirely).
+	if !r.opts.DisableWndq && innerCount >= r.minPts {
+		for k, q := range nbhd {
+			if inner[k] && q != i && !r.core[q] {
+				r.markWndq(int32(q), false)
+			}
+		}
+	}
+	for _, q := range nbhd {
+		if q == i {
+			continue
+		}
+		r.linkFromCore(int32(i), int32(q))
 	}
 }
 
@@ -481,15 +495,14 @@ func (r *run) postProcessCore() {
 	eps2 := r.eps * r.eps
 	prune2 := 4 * r.eps * r.eps
 	for _, pid := range r.wndqList {
-		p := r.pts[pid]
+		p := r.set.Point(int(pid))
 		rootP := r.uf.Find(int(pid))
-		region := geom.Region(p, r.eps)
 		for _, rid := range r.ix.MCs[r.ix.PointMC[pid]].Reach {
 			z := r.ix.MCs[rid]
-			if geom.DistSq(p, z.Center) >= prune2 {
+			if r.kern(p, z.Center) >= prune2 {
 				continue
 			}
-			if !z.Aux.RootMBR().Overlaps(region) {
+			if !z.Aux.RootMBR().OverlapsRegion(p, r.eps) {
 				continue
 			}
 			wholeMC := r.mcWhole[rid]
@@ -505,7 +518,7 @@ func (r *run) postProcessCore() {
 						continue
 					}
 					r.st.DistCalcs++
-					if geom.DistSq(p, r.pts[q]) >= eps2 {
+					if r.kern(p, r.set.Row(int(q))) >= eps2 {
 						continue
 					}
 					r.uf.Union(int(pid), int(q))
@@ -520,7 +533,7 @@ func (r *run) postProcessCore() {
 				// is a deferred cross link: its owner decides its status.
 				if r.isHalo(q) && !r.isHalo(pid) {
 					r.st.DistCalcs++
-					if geom.DistSq(p, r.pts[q]) < eps2 {
+					if r.kern(p, r.set.Row(int(q))) < eps2 {
 						r.pairs = append(r.pairs, Pair{A: pid, B: q})
 					}
 				}

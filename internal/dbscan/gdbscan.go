@@ -22,7 +22,10 @@ func GDBSCAN(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Sta
 	if n == 0 {
 		return &clustering.Result{}, Stats{}
 	}
+	kern := geom.KernelFor(len(pts[0]))
 	half := eps / 2
+	half2 := half * half
+	eps2 := eps * eps
 	var masters []int     // point id of each group master
 	var members [][]int32 // group id -> member ids
 	groupOf := make([]int32, n)
@@ -31,7 +34,7 @@ func GDBSCAN(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Sta
 		best := -1
 		for g, m := range masters {
 			dist++
-			if geom.Within(p, pts[m], half) {
+			if kern(p, pts[m]) < half2 {
 				best = g
 				break
 			}
@@ -46,19 +49,21 @@ func GDBSCAN(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Sta
 	}
 
 	search := eps + half
+	search2 := search * search
 	uf := unionfind.New(n)
 	core := make([]bool, n)
+	nbhd := make([]int, 0, 64)
 	st := unionFindDBSCAN(n, minPts, uf, core, nil, func(i int) []int {
 		p := pts[i]
-		var nbhd []int
+		nbhd = nbhd[:0]
 		for g, m := range masters {
 			dist++
-			if !geom.Within(p, pts[m], search) {
+			if kern(p, pts[m]) >= search2 {
 				continue
 			}
 			for _, q := range members[g] {
 				dist++
-				if geom.Within(p, pts[q], eps) {
+				if kern(p, pts[q]) < eps2 {
 					nbhd = append(nbhd, int(q))
 				}
 			}

@@ -106,14 +106,17 @@ func GridDBSCAN(pts []geom.Point, eps float64, minPts int, opts GridOptions) (*c
 		}
 	}
 
+	kern := geom.KernelFor(d)
+	eps2 := eps * eps
 	var dist int64
+	nbhd := make([]int, 0, 64)
 	st := unionFindDBSCAN(n, minPts, uf, core, skip, func(i int) []int {
 		p := pts[i]
-		var nbhd []int
+		nbhd = nbhd[:0]
 		neighborsOf(cellOf[i], func(members []int32) {
 			for _, q := range members {
 				dist++
-				if geom.Within(p, pts[q], eps) {
+				if kern(p, pts[q]) < eps2 {
 					nbhd = append(nbhd, int(q))
 				}
 			}
@@ -133,7 +136,7 @@ func GridDBSCAN(pts []geom.Point, eps float64, minPts int, opts GridOptions) (*c
 			for _, x := range a {
 				for _, y := range b {
 					dist++
-					if geom.Within(pts[x], pts[y], eps) {
+					if kern(pts[x], pts[y]) < eps2 {
 						uf.Union(int(x), int(y))
 						break scan
 					}

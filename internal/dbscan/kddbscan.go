@@ -21,11 +21,13 @@ func KDBSCAN(pts []geom.Point, eps float64, minPts int) (*clustering.Result, Sta
 	uf := unionfind.New(n)
 	core := make([]bool, n)
 	var dist int64
+	// As in RDBSCAN: the driver never retains a neighborhood, so a single
+	// reused buffer keeps the query loop allocation-free.
+	nbhd := make([]int, 0, 64)
 	st := unionFindDBSCAN(n, minPts, uf, core, nil, func(i int) []int {
-		var nbhd []int
-		dist += int64(tree.Sphere(pts[i], eps, true, func(id int, _ geom.Point) {
-			nbhd = append(nbhd, id)
-		}))
+		var calcs int
+		nbhd, calcs = tree.SphereInto(pts[i], eps, true, nbhd[:0])
+		dist += int64(calcs)
 		return nbhd
 	})
 	st.DistCalcs = dist

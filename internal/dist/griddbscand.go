@@ -107,13 +107,18 @@ func gridLocal(side float64, radius int, denseCells bool) localFn {
 		}
 		st.Steps.TreeConstruction = time.Since(start)
 
+		var kern geom.DistSqKernel
+		if len(combined) > 0 {
+			kern = geom.KernelFor(len(combined[0]))
+		}
+		eps2 := eps * eps
 		query := func(i int, fn func(id int32, pt geom.Point)) int {
 			p := combined[i]
 			calcs := 0
 			grid.VisitNeighborCells(coordsOf[keyOf[i]], radius, func(_ string, members []int32) {
 				for _, q := range members {
 					calcs++
-					if geom.Within(p, combined[q], eps) {
+					if kern(p, combined[q]) < eps2 {
 						fn(q, combined[q])
 					}
 				}

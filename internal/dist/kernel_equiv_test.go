@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/dbscan"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/shared"
+	"mudbscan/internal/unionfind"
+)
+
+// legacyBrute is pre-kernel brute-force DBSCAN frozen in place: per-pair
+// geom.Within (dimension check on every call) with freshly-allocated
+// neighborhoods, driven by the same union-find cluster-formation rules as
+// dbscan.Brute. It is the reference the kernelized hot path is held
+// byte-identical against.
+func legacyBrute(pts []geom.Point, eps float64, minPts int) *clustering.Result {
+	n := len(pts)
+	uf := unionfind.New(n)
+	coreFlag := make([]bool, n)
+	assigned := make([]bool, n)
+	for i := 0; i < n; i++ {
+		var nbhd []int
+		for j, q := range pts {
+			if geom.Within(pts[i], q, eps) {
+				nbhd = append(nbhd, j)
+			}
+		}
+		if len(nbhd) >= minPts {
+			coreFlag[i] = true
+			for _, q := range nbhd {
+				if q == i {
+					continue
+				}
+				if coreFlag[q] {
+					uf.Union(i, q)
+				} else if !assigned[q] {
+					uf.Union(i, q)
+					assigned[q] = true
+				}
+			}
+		} else if !assigned[i] {
+			for _, q := range nbhd {
+				if coreFlag[q] {
+					uf.Union(i, q)
+					assigned[i] = true
+					break
+				}
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = uf.Find(i)
+	}
+	return clustering.FromUnionLabels(comp, coreFlag)
+}
+
+// TestKernelPathByteIdentical holds the flattened hot path to the strongest
+// possible standard: on every conformance dataset, the kernelized
+// contiguous-storage pipeline must produce the same bytes as the legacy
+// per-point layout — not merely an equivalent clustering. This works because
+// the specialized kernels accumulate squared terms in the same order as
+// geom.DistSq, so every comparison against ε² resolves identically.
+func TestKernelPathByteIdentical(t *testing.T) {
+	for _, ds := range conformanceDatasets() {
+		t.Run(ds.name, func(t *testing.T) {
+			want := legacyBrute(ds.pts, ds.eps, ds.minPts)
+
+			got, _ := dbscan.Brute(ds.pts, ds.eps, ds.minPts)
+			if !reflect.DeepEqual(want.Labels, got.Labels) || !reflect.DeepEqual(want.Core, got.Core) {
+				t.Fatal("kernelized Brute diverges from legacy layout")
+			}
+
+			// The tree-indexed baselines visit neighbors in a different order
+			// than brute force, so their labels are checked for exact
+			// clustering equivalence (identical cores, partition and noise)
+			// rather than identical bytes.
+			rGot, _ := dbscan.RDBSCAN(ds.pts, ds.eps, ds.minPts)
+			if err := clustering.Equivalent(want, rGot); err != nil {
+				t.Fatalf("RDBSCAN: %v", err)
+			}
+			kGot, _ := dbscan.KDBSCAN(ds.pts, ds.eps, ds.minPts)
+			if err := clustering.Equivalent(want, kGot); err != nil {
+				t.Fatalf("KDBSCAN: %v", err)
+			}
+			if !reflect.DeepEqual(rGot.Core, want.Core) || !reflect.DeepEqual(kGot.Core, want.Core) {
+				t.Fatal("indexed baselines disagree on core flags")
+			}
+
+			// Sequential and shared-memory μDBSCAN on the same contiguous
+			// storage: exact per the paper's Theorem 1, and identical core
+			// flags bit for bit.
+			muGot, _ := core.Run(ds.pts, ds.eps, ds.minPts, core.Options{})
+			if err := clustering.Equivalent(want, muGot); err != nil {
+				t.Fatalf("core.Run: %v", err)
+			}
+			if !reflect.DeepEqual(muGot.Core, want.Core) {
+				t.Fatal("core.Run core flags diverge from legacy brute")
+			}
+			for _, w := range []int{1, 4} {
+				shGot, _ := shared.Run(ds.pts, ds.eps, ds.minPts, shared.Options{Workers: w})
+				if err := clustering.Equivalent(want, shGot); err != nil {
+					t.Fatalf("shared.Run w=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(shGot.Core, want.Core) {
+					t.Fatalf("shared.Run w=%d core flags diverge", w)
+				}
+			}
+			if err := clustering.CheckBorders(ds.pts, ds.eps, muGot); err != nil {
+				t.Fatalf("core.Run border: %v", err)
+			}
+		})
+	}
+}

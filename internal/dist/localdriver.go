@@ -28,6 +28,11 @@ func localDriver(
 	st *core.Stats,
 ) *core.LocalResult {
 	n := len(pts)
+	var kern geom.DistSqKernel
+	if n > 0 {
+		kern = geom.KernelFor(len(pts[0]))
+	}
+	eps2 := eps * eps
 	uf := unionfind.New(n)
 	coreFlag := make([]bool, n)
 	if preCore != nil {
@@ -119,14 +124,14 @@ func localDriver(
 						return
 					}
 					st.DistCalcs++
-					if geom.Within(p, pts[q], eps) {
+					if kern(p, pts[q]) < eps2 {
 						uf.Union(int(i), int(q))
 					}
 					return
 				}
 				if isHalo(q) {
 					st.DistCalcs++
-					if geom.Within(p, pts[q], eps) {
+					if kern(p, pts[q]) < eps2 {
 						pairs = append(pairs, core.Pair{A: i, B: q})
 					}
 				}

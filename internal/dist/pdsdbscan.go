@@ -20,10 +20,16 @@ func PDSDBSCAND(pts []geom.Point, eps float64, minPts, p int, opts Options) (*cl
 		start := time.Now()
 		tree := rtree.BulkLoad(len(combined[0]), 0, combined, nil)
 		st.Steps.TreeConstruction = time.Since(start)
+		// localDriver consumes each neighborhood within one iteration, so a
+		// single reused buffer backs every allocation-free SphereInto query.
+		buf := make([]int, 0, 64)
 		query := func(i int, fn func(id int32, pt geom.Point)) int {
-			return tree.Sphere(combined[i], e, true, func(id int, pt geom.Point) {
-				fn(int32(id), pt)
-			})
+			var calcs int
+			buf, calcs = tree.SphereInto(combined[i], e, true, buf[:0])
+			for _, id := range buf {
+				fn(int32(id), nil)
+			}
+			return calcs
 		}
 		return localDriver(combined, e, mp, localCount, nil, nil, query, nil, st)
 	}})

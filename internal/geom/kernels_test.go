@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 10
+	}
+	return v
+}
+
+// Every kernel must be bit-identical to the legacy DistSq loop: same
+// subtraction, same squaring, same left-to-right accumulation order, so the
+// float64 result is the same bit pattern, not merely close.
+func TestKernelBitIdenticalToDistSq(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for d := 1; d <= 10; d++ {
+		kern := KernelFor(d)
+		for trial := 0; trial < 500; trial++ {
+			p, q := randVec(rng, d), randVec(rng, d)
+			want := DistSq(p, q)
+			got := kern(p, q)
+			if got != want {
+				t.Fatalf("d=%d kernel %v != DistSq %v (bit mismatch)", d, got, want)
+			}
+			// Symmetry must also hold exactly: (a-b)² and (b-a)² round
+			// identically under IEEE 754.
+			if kern(q, p) != want {
+				t.Fatalf("d=%d kernel not exactly symmetric", d)
+			}
+		}
+	}
+}
+
+func TestAppendWithinBlockMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for d := 1; d <= 7; d++ {
+		n := 300
+		block := make([]float64, n*d)
+		for i := range block {
+			block[i] = rng.Float64() * 20
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i * 3
+		}
+		for trial := 0; trial < 50; trial++ {
+			center := randVec(rng, d)
+			r2 := rng.Float64() * 100
+			closed := trial%2 == 0
+			var want []int
+			for k := 0; k < n; k++ {
+				d2 := DistSq(Point(block[k*d:(k+1)*d]), Point(center))
+				if d2 < r2 || (closed && d2 == r2) {
+					want = append(want, ids[k])
+				}
+			}
+			got := AppendWithinBlock(nil, ids, block, d, center, r2, closed)
+			if len(got) != len(want) {
+				t.Fatalf("d=%d %d hits vs %d", d, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d order diverges at %d", d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendWithinBlockAppends(t *testing.T) {
+	dst := []int{99}
+	got := AppendWithinBlock(dst, []int{5}, []float64{0, 0}, 2, []float64{0, 0}, 1, false)
+	if len(got) != 2 || got[0] != 99 || got[1] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKernelForDispatch(t *testing.T) {
+	// The boundary condition the dispatch must honor: every dim gets a kernel
+	// that works on vectors of exactly that length.
+	for d := 1; d <= 12; d++ {
+		p := make([]float64, d)
+		q := make([]float64, d)
+		p[d-1], q[d-1] = 3, 7
+		if got := KernelFor(d)(p, q); got != 16 {
+			t.Fatalf("d=%d got %v want 16", d, got)
+		}
+	}
+}
+
+// legacyDistSq mimics the pre-kernel hot path: dimension check plus the
+// simple sequential loop on every call. The benchmark pair below is the
+// microbenchmark evidence for the kernels' speedup claim.
+func legacyDistSq(p, q Point) float64 {
+	if len(p) != len(q) {
+		panic("dim mismatch")
+	}
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+func benchmarkDistSq(b *testing.B, d int, legacy bool) {
+	rng := rand.New(rand.NewSource(int64(d)))
+	const m = 1024
+	vecs := make([][]float64, m)
+	for i := range vecs {
+		vecs[i] = randVec(rng, d)
+	}
+	kern := KernelFor(d)
+	var sink float64
+	b.ResetTimer()
+	if legacy {
+		for i := 0; i < b.N; i++ {
+			sink += legacyDistSq(vecs[i%m], vecs[(i+1)%m])
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			sink += kern(vecs[i%m], vecs[(i+1)%m])
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkDistSqLegacy2D(b *testing.B) { benchmarkDistSq(b, 2, true) }
+func BenchmarkDistSqKernel2D(b *testing.B) { benchmarkDistSq(b, 2, false) }
+func BenchmarkDistSqLegacy3D(b *testing.B) { benchmarkDistSq(b, 3, true) }
+func BenchmarkDistSqKernel3D(b *testing.B) { benchmarkDistSq(b, 3, false) }
+func BenchmarkDistSqLegacy8D(b *testing.B) { benchmarkDistSq(b, 8, true) }
+func BenchmarkDistSqKernel8D(b *testing.B) { benchmarkDistSq(b, 8, false) }

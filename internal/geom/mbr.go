@@ -125,6 +125,20 @@ func Region(p Point, r float64) MBR {
 	return m.Expanded(r)
 }
 
+// OverlapsRegion reports whether m overlaps the axis-aligned cube of
+// half-width r centered at p — exactly Overlaps(Region(p, r)), but without
+// materializing the region rectangle. This sits on the per-micro-cluster
+// filter of every ε-neighborhood query, where Region's two allocations per
+// query would dominate an otherwise allocation-free hot path.
+func (m MBR) OverlapsRegion(p Point, r float64) bool {
+	for i := range m.Min {
+		if m.Min[i] > p[i]+r || p[i]-r > m.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Area returns the d-dimensional volume of m (0 for empty MBRs).
 func (m MBR) Area() float64 {
 	if m.IsEmpty() {

@@ -10,6 +10,8 @@ package geom
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Point is a d-dimensional coordinate vector.
@@ -40,14 +42,17 @@ func (p Point) Equal(q Point) bool {
 
 // String formats p like "(x1, x2, ...)" with compact precision.
 func (p Point) String() string {
-	s := "("
+	var b strings.Builder
+	b.Grow(2 + 8*len(p))
+	b.WriteByte('(')
 	for i, v := range p {
 		if i > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
-		s += fmt.Sprintf("%g", v)
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 	}
-	return s + ")"
+	b.WriteByte(')')
+	return b.String()
 }
 
 // DistSq returns the squared Euclidean distance between p and q.

@@ -2,6 +2,11 @@
 // axis-selection and median-selection helpers that the spatial partitioning
 // phase of μDBSCAN-D (§V-A of the paper) is built on. The tree itself also
 // serves as an alternative point index for the indexing ablation benchmarks.
+//
+// The tree stores its (reordered) points in one contiguous row-major
+// coordinate array (geom.PointSet), so a leaf scan is a linear walk over a
+// [lo*d, hi*d) block, and squared distances go through the
+// dimension-specialized kernel chosen once at build time.
 package kdtree
 
 import (
@@ -13,10 +18,11 @@ import (
 
 // Tree is a static, median-split k-d tree built once over a point set.
 type Tree struct {
-	dim  int
-	pts  []geom.Point
-	ids  []int
-	root *node
+	dim    int
+	set    *geom.PointSet
+	ids    []int
+	root   *node
+	kernel geom.DistSqKernel
 }
 
 type node struct {
@@ -34,28 +40,40 @@ const leafSize = 16
 // Build constructs a k-d tree over pts. ids[i] identifies pts[i]; nil means
 // the point index. The input slices are copied, so callers may reuse them.
 func Build(dim int, pts []geom.Point, ids []int) *Tree {
+	if ids != nil && len(ids) != len(pts) {
+		panic("kdtree: ids/pts length mismatch")
+	}
+	return BuildSet(geom.PointSetFromPoints(dim, pts), ids)
+}
+
+// BuildSet constructs a k-d tree that takes ownership of set, reordering its
+// rows in place during construction. Callers that already hold contiguous
+// coordinates avoid the copy Build performs.
+func BuildSet(set *geom.PointSet, ids []int) *Tree {
+	n := set.Len()
 	if ids == nil {
-		ids = make([]int, len(pts))
+		ids = make([]int, n)
 		for i := range ids {
 			ids[i] = i
 		}
 	}
-	if len(ids) != len(pts) {
+	if len(ids) != n {
 		panic("kdtree: ids/pts length mismatch")
 	}
 	t := &Tree{
-		dim: dim,
-		pts: append([]geom.Point(nil), pts...),
-		ids: append([]int(nil), ids...),
+		dim:    set.Dim(),
+		set:    set,
+		ids:    append([]int(nil), ids...),
+		kernel: geom.KernelFor(set.Dim()),
 	}
-	if len(pts) > 0 {
-		t.root = t.build(0, len(pts))
+	if n > 0 {
+		t.root = t.build(0, n)
 	}
 	return t
 }
 
 func (t *Tree) build(lo, hi int) *node {
-	n := &node{lo: lo, hi: hi, mbr: geom.MBRFromPoints(t.pts[lo:hi])}
+	n := &node{lo: lo, hi: hi, mbr: geom.MBRFromBlock(t.set.Block(lo, hi), t.dim)}
 	if hi-lo <= leafSize {
 		n.leaf = true
 		return n
@@ -64,28 +82,28 @@ func (t *Tree) build(lo, hi int) *node {
 	mid := (lo + hi) / 2
 	t.selectNth(lo, hi, mid, axis)
 	n.axis = axis
-	n.split = t.pts[mid][axis]
+	n.split = t.set.Coord(mid, axis)
 	n.left = t.build(lo, mid)
 	n.right = t.build(mid, hi)
 	return n
 }
 
-// selectNth partially orders t.pts[lo:hi] so that the element at position n
+// selectNth partially orders rows [lo, hi) so that the row at position n
 // is the one that would be there under a full sort by the given axis
 // (quickselect / Hoare's nth_element).
 func (t *Tree) selectNth(lo, hi, n, axis int) {
 	for hi-lo > 1 {
-		pivot := t.pts[lo+(hi-lo)/2][axis]
+		pivot := t.set.Coord(lo+(hi-lo)/2, axis)
 		i, j := lo, hi-1
 		for i <= j {
-			for t.pts[i][axis] < pivot {
+			for t.set.Coord(i, axis) < pivot {
 				i++
 			}
-			for t.pts[j][axis] > pivot {
+			for t.set.Coord(j, axis) > pivot {
 				j--
 			}
 			if i <= j {
-				t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+				t.set.Swap(i, j)
 				t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
 				i++
 				j--
@@ -103,7 +121,7 @@ func (t *Tree) selectNth(lo, hi, n, axis int) {
 }
 
 // Len returns the number of indexed points.
-func (t *Tree) Len() int { return len(t.pts) }
+func (t *Tree) Len() int { return t.set.Len() }
 
 // Sphere visits every point with dist(p, center) < r (strict) or <= r, and
 // returns the number of distance computations performed.
@@ -111,29 +129,51 @@ func (t *Tree) Sphere(center geom.Point, r float64, strict bool, fn func(id int,
 	if t.root == nil {
 		return 0
 	}
-	r2 := r * r
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.mbr.MinDistSq(center) > r2 {
-			return
-		}
-		if n.leaf {
-			for i := n.lo; i < n.hi; i++ {
-				distCalcs++
-				d2 := geom.DistSq(center, t.pts[i])
-				if d2 < r2 || (!strict && d2 == r2) {
-					if fn != nil {
-						fn(t.ids[i], t.pts[i])
-					}
+	return t.sphere(t.root, center, r*r, !strict, fn)
+}
+
+func (t *Tree) sphere(n *node, center geom.Point, r2 float64, closed bool, fn func(id int, pt geom.Point)) int {
+	if n.mbr.MinDistSq(center) > r2 {
+		return 0
+	}
+	if n.leaf {
+		for i := n.lo; i < n.hi; i++ {
+			row := t.set.Row(i)
+			d2 := t.kernel(center, row)
+			if d2 < r2 || (closed && d2 == r2) {
+				if fn != nil {
+					fn(t.ids[i], geom.Point(row))
 				}
 			}
-			return
 		}
-		walk(n.left)
-		walk(n.right)
+		return n.hi - n.lo
 	}
-	walk(t.root)
-	return distCalcs
+	return t.sphere(n.left, center, r2, closed, fn) +
+		t.sphere(n.right, center, r2, closed, fn)
+}
+
+// SphereInto appends to dst the ids of every point with dist < r of center
+// (or <= r when strict is false) and returns the extended slice plus the
+// number of distance computations. Hit order matches Sphere. Steady-state
+// queries through a warmed dst perform zero allocations.
+func (t *Tree) SphereInto(center geom.Point, r float64, strict bool, dst []int) ([]int, int) {
+	if t.root == nil {
+		return dst, 0
+	}
+	return t.sphereInto(t.root, center, r*r, !strict, dst)
+}
+
+func (t *Tree) sphereInto(n *node, center geom.Point, r2 float64, closed bool, dst []int) ([]int, int) {
+	if n.mbr.MinDistSq(center) > r2 {
+		return dst, 0
+	}
+	if n.leaf {
+		dst = geom.AppendWithinBlock(dst, t.ids[n.lo:n.hi], t.set.Block(n.lo, n.hi), t.dim, center, r2, closed)
+		return dst, n.hi - n.lo
+	}
+	dst, a := t.sphereInto(n.left, center, r2, closed, dst)
+	dst, b := t.sphereInto(n.right, center, r2, closed, dst)
+	return dst, a + b
 }
 
 // WidestAxis returns the axis along which pts have the largest spread.

@@ -26,7 +26,7 @@ func (t *Tree) KNN(center geom.Point, k int) (ids []int, dists []float64) {
 		}
 		if n.leaf {
 			for i := n.lo; i < n.hi; i++ {
-				d := geom.DistSq(center, t.pts[i])
+				d := t.kernel(center, t.set.Row(i))
 				if h.Len() < k {
 					heap.Push(h, knnEntry{id: t.ids[i], dist: d})
 				} else if d < (*h)[0].dist {

@@ -1,0 +1,92 @@
+package mc
+
+import (
+	"testing"
+
+	"mudbscan/internal/geom"
+)
+
+// EpsNeighborhoodInto must report exactly the ids the callback API reports,
+// in the same order, with the same distance-calc and trees-searched counts.
+func TestEpsNeighborhoodIntoMatchesCallback(t *testing.T) {
+	pts, ix := buildRandom(t, 61, 900, 3, 0.8, 5)
+	buf := make([]int, 0, 64)
+	for id := range pts {
+		var want []int
+		wantCalcs, wantTrees := ix.EpsNeighborhood(pts[id], id, func(nid int, _ geom.Point) {
+			want = append(want, nid)
+		})
+		var calcs, trees int
+		buf, calcs, trees = ix.EpsNeighborhoodInto(pts[id], id, buf[:0])
+		if calcs != wantCalcs || trees != wantTrees {
+			t.Fatalf("id=%d calcs/trees %d/%d want %d/%d", id, calcs, trees, wantCalcs, wantTrees)
+		}
+		if len(buf) != len(want) {
+			t.Fatalf("id=%d %d hits vs %d", id, len(buf), len(want))
+		}
+		for k := range buf {
+			if buf[k] != want[k] {
+				t.Fatalf("id=%d hit order diverges at %d", id, k)
+			}
+		}
+	}
+}
+
+func TestWholeSpaceNeighborhoodIntoMatchesCallback(t *testing.T) {
+	pts, ix := buildRandom(t, 67, 600, 2, 0.9, 5)
+	buf := make([]int, 0, 64)
+	for id := 0; id < len(pts); id += 7 {
+		var want []int
+		wantCalcs := ix.WholeSpaceNeighborhood(pts[id], func(nid int, _ geom.Point) {
+			want = append(want, nid)
+		})
+		var calcs int
+		buf, calcs = ix.WholeSpaceNeighborhoodInto(pts[id], buf[:0])
+		if calcs != wantCalcs {
+			t.Fatalf("id=%d calcs %d want %d", id, calcs, wantCalcs)
+		}
+		if len(buf) != len(want) {
+			t.Fatalf("id=%d %d hits vs %d", id, len(buf), len(want))
+		}
+		for k := range buf {
+			if buf[k] != want[k] {
+				t.Fatalf("id=%d hit order diverges at %d", id, k)
+			}
+		}
+	}
+}
+
+// A steady-state ε-neighborhood query must not allocate: the reachable-list
+// walk, the MBR filter and the auxiliary-tree scans are all in-place.
+func TestEpsNeighborhoodIntoZeroAllocs(t *testing.T) {
+	pts, ix := buildRandom(t, 71, 2000, 3, 0.8, 5)
+	buf := make([]int, 0, 2048)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		id := i % len(pts)
+		buf, _, _ = ix.EpsNeighborhoodInto(ix.Points.Point(id), id, buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("EpsNeighborhoodInto allocated %.1f times per query; want 0", allocs)
+	}
+}
+
+// The Index's contiguous store must hold exactly the input points, in order,
+// and every MC center view must alias its own row.
+func TestIndexPointsStore(t *testing.T) {
+	pts, ix := buildRandom(t, 73, 400, 4, 0.9, 5)
+	if ix.Points.Len() != len(pts) {
+		t.Fatalf("store holds %d of %d points", ix.Points.Len(), len(pts))
+	}
+	for i, p := range pts {
+		if !ix.Points.Point(i).Equal(p) {
+			t.Fatalf("row %d diverges from input point", i)
+		}
+	}
+	for _, m := range ix.MCs {
+		if !m.Center.Equal(ix.Points.Point(m.CenterID)) {
+			t.Fatalf("MC %d center diverges from its row", m.ID)
+		}
+	}
+}

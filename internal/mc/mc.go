@@ -7,6 +7,11 @@
 // data points; every data point belongs to exactly one MC, and membership
 // requires dist(point, center) < ε — the same strict inequality as the
 // DBSCAN ε-neighborhood, so that MC(p) ⊆ N_ε(center).
+//
+// Point coordinates live in one contiguous geom.PointSet owned by the Index;
+// member points are identified by their row index. All distance work goes
+// through the dimension-specialized kernel chosen once at construction, and
+// EpsNeighborhoodInto is the allocation-free query the clustering loops use.
 package mc
 
 import (
@@ -96,7 +101,11 @@ type Index struct {
 	MCs    []*MicroCluster
 	// PointMC maps a dataset index to the id of its micro-cluster.
 	PointMC []int32
+	// Points holds the dataset the index was built over, contiguous and in
+	// id order. Treat it as read-only.
+	Points  *geom.PointSet
 	centers *rtree.Tree
+	kern    geom.DistSqKernel
 	opts    Options
 }
 
@@ -125,7 +134,6 @@ func Build(pts []geom.Point, eps float64, minPts int, opts Options) *Index {
 // payloads are in flight, then Adds the halo points and Finishes.
 type Builder struct {
 	ix         *Index
-	pts        []geom.Point
 	unassigned []int32
 	finished   bool
 }
@@ -146,22 +154,23 @@ func NewBuilder(dim int, eps float64, minPts int, opts Options) *Builder {
 			Eps:     eps,
 			MinPts:  minPts,
 			Dim:     dim,
+			Points:  geom.NewPointSet(dim, 0),
 			centers: rtree.New(dim, opts.Fanout),
+			kern:    geom.KernelFor(dim),
 			opts:    opts,
 		},
 	}
 }
 
 // Add scans the batch per Algorithm 3. Point ids continue from previous
-// batches.
+// batches. Coordinates are copied into the Index's contiguous point store.
 func (b *Builder) Add(pts []geom.Point) {
 	if b.finished {
 		panic("mc: Add after Finish")
 	}
 	ix := b.ix
 	for _, p := range pts {
-		i := len(b.pts)
-		b.pts = append(b.pts, p)
+		i := ix.Points.Append(p)
 		ix.PointMC = append(ix.PointMC, -1)
 		// The tight ε-radius nearest-center search succeeds for most points
 		// on dense data; only the misses pay for the wider 2ε existence
@@ -174,13 +183,14 @@ func (b *Builder) Add(pts []geom.Point) {
 			b.unassigned = append(b.unassigned, int32(i))
 			continue
 		}
-		ix.newMC(i, p)
+		ix.newMC(i)
 	}
 }
 
-// Points returns all points added so far, in id order. The slice is owned
-// by the Builder; treat it as read-only.
-func (b *Builder) Points() []geom.Point { return b.pts }
+// Points returns the contiguous store of all points added so far, in id
+// order. The set is owned by the Builder (and by the Index after Finish);
+// treat it as read-only.
+func (b *Builder) Points() *geom.PointSet { return b.ix.Points }
 
 // Finish inserts the deferred points and finalizes the Index (aux trees,
 // inner circles, kinds, and — unless SkipReachable — reachable lists).
@@ -189,32 +199,34 @@ func (b *Builder) Finish() *Index {
 		panic("mc: Finish called twice")
 	}
 	b.finished = true
-	if len(b.pts) == 0 {
+	ix := b.ix
+	if ix.Points.Len() == 0 {
 		panic("mc: empty dataset")
 	}
-	ix := b.ix
 	for _, i := range b.unassigned {
-		p := b.pts[i]
+		p := ix.Points.Point(int(i))
 		mcID, _, ok := ix.centers.Nearest(p, ix.Eps, true)
 		if ok {
 			ix.addMember(mcID, int(i))
 		} else {
-			ix.newMC(int(i), p)
+			ix.newMC(int(i))
 		}
 	}
-	ix.finalize(b.pts)
+	ix.finalize()
 	return ix
 }
 
-func (ix *Index) newMC(centerID int, center geom.Point) {
+func (ix *Index) newMC(centerID int) {
 	m := &MicroCluster{
 		ID:       len(ix.MCs),
 		CenterID: centerID,
-		Center:   center,
 		Members:  []int32{int32(centerID)},
 	}
 	ix.MCs = append(ix.MCs, m)
-	ix.centers.Insert(m.ID, center)
+	// The center tree copies the coordinates; m.Center is materialized in
+	// finalize, once the point store has stopped growing (row views into a
+	// growing PointSet can be invalidated by reallocation).
+	ix.centers.Insert(m.ID, ix.Points.Point(centerID))
 	ix.PointMC[centerID] = int32(m.ID)
 }
 
@@ -226,20 +238,37 @@ func (ix *Index) addMember(mcID, pointID int) {
 // finalize builds the aux trees, inner circles, kinds and reachable lists.
 // Micro-clusters are mutually independent here — membership is frozen and
 // every write targets the one MC being finalized — so the loop runs across
-// Options.Workers goroutines.
-func (ix *Index) finalize(pts []geom.Point) {
+// Options.Workers goroutines, each gathering member coordinates into its own
+// reusable scratch PointSet before bulk-loading the auxiliary tree.
+func (ix *Index) finalize() {
+	// The point store is frozen now; give every MC its stable center view.
+	for _, m := range ix.MCs {
+		m.Center = ix.Points.Point(m.CenterID)
+	}
 	half := ix.Eps / 2
-	par.For(ix.opts.Workers, len(ix.MCs), func(_, k int) {
+	half2 := half * half
+	workers := ix.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	scratchSet := make([]*geom.PointSet, workers)
+	scratchIDs := make([][]int, workers)
+	for w := range scratchSet {
+		scratchSet[w] = geom.NewPointSet(ix.Dim, 0)
+	}
+	par.For(ix.opts.Workers, len(ix.MCs), func(w, k int) {
 		m := ix.MCs[k]
-		mpts := make([]geom.Point, len(m.Members))
-		ids := make([]int, len(m.Members))
-		for i, id := range m.Members {
-			mpts[i] = pts[id]
-			ids[i] = int(id)
-		}
-		m.Aux = rtree.BulkLoad(ix.Dim, ix.opts.Fanout, mpts, ids)
+		set := scratchSet[w]
+		set.Reset()
+		ids := scratchIDs[w][:0]
 		for _, id := range m.Members {
-			if int(id) != m.CenterID && geom.Within(pts[id], m.Center, half) {
+			set.AppendRow(ix.Points.Row(int(id)))
+			ids = append(ids, int(id))
+		}
+		scratchIDs[w] = ids
+		m.Aux = rtree.BulkLoadSet(ix.opts.Fanout, set, ids)
+		for _, id := range m.Members {
+			if int(id) != m.CenterID && ix.kern(ix.Points.Row(int(id)), m.Center) < half2 {
 				m.InnerIDs = append(m.InnerIDs, id)
 			}
 		}
@@ -280,24 +309,45 @@ func (ix *Index) NumMCs() int { return len(ix.MCs) }
 // MCOf returns the micro-cluster containing dataset point id.
 func (ix *Index) MCOf(pointID int) *MicroCluster { return ix.MCs[ix.PointMC[pointID]] }
 
-// EpsNeighborhood computes the exact ε-neighborhood of pts[pointID] by
-// searching only the auxiliary R-trees of the reachable micro-clusters of
-// the point's own MC whose root MBR overlaps the ε-extended region of the
-// point (§IV-B2). fn is invoked for every neighbor, including the query
-// point itself (dist 0 < ε). It returns the number of point-distance
-// computations and the number of auxiliary trees actually searched.
-func (ix *Index) EpsNeighborhood(p geom.Point, pointID int, fn func(id int, pt geom.Point)) (distCalcs, treesSearched int) {
-	region := geom.Region(p, ix.Eps)
+// EpsNeighborhoodInto computes the exact ε-neighborhood of point pointID
+// (coordinates p) by searching only the auxiliary R-trees of the reachable
+// micro-clusters of the point's own MC whose root MBR overlaps the
+// ε-extended region of the point (§IV-B2). Neighbor ids — including the
+// query point itself (dist 0 < ε) — are appended to dst. It returns the
+// extended slice, the number of point-distance computations, and the number
+// of auxiliary trees actually searched. With a warmed dst the query performs
+// zero allocations; this is the primitive under every clustering hot loop.
+func (ix *Index) EpsNeighborhoodInto(p geom.Point, pointID int, dst []int) (_ []int, distCalcs, treesSearched int) {
 	// Every member of MC Z lies strictly within ε of Z's center, so a
 	// member can only be within ε of p when dist(p, center) < 2ε — a much
 	// tighter filter than the 3ε reachability list.
 	prune2 := 4 * ix.Eps * ix.Eps
 	for _, rid := range ix.MCs[ix.PointMC[pointID]].Reach {
 		z := ix.MCs[rid]
-		if geom.DistSq(p, z.Center) >= prune2 {
+		if ix.kern(p, z.Center) >= prune2 {
 			continue
 		}
-		if !z.Aux.RootMBR().Overlaps(region) {
+		if !z.Aux.RootMBR().OverlapsRegion(p, ix.Eps) {
+			continue
+		}
+		treesSearched++
+		var calcs int
+		dst, calcs = z.Aux.SphereInto(p, ix.Eps, true, dst)
+		distCalcs += calcs
+	}
+	return dst, distCalcs, treesSearched
+}
+
+// EpsNeighborhood is the callback form of EpsNeighborhoodInto, for callers
+// that want the neighbor coordinates alongside the ids.
+func (ix *Index) EpsNeighborhood(p geom.Point, pointID int, fn func(id int, pt geom.Point)) (distCalcs, treesSearched int) {
+	prune2 := 4 * ix.Eps * ix.Eps
+	for _, rid := range ix.MCs[ix.PointMC[pointID]].Reach {
+		z := ix.MCs[rid]
+		if ix.kern(p, z.Center) >= prune2 {
+			continue
+		}
+		if !z.Aux.RootMBR().OverlapsRegion(p, ix.Eps) {
 			continue
 		}
 		treesSearched++
@@ -307,21 +357,20 @@ func (ix *Index) EpsNeighborhood(p geom.Point, pointID int, fn func(id int, pt g
 }
 
 // VisitReachableMembers invokes fn for every member point of every filtered
-// reachable micro-cluster of pts[pointID]'s MC (those overlapping the
+// reachable micro-cluster of point pointID's MC (those overlapping the
 // ε-extended region of p). Used by the post-processing-core step (Algo 7),
 // which wants candidate points for targeted distance checks rather than a
 // full neighborhood query. Returns the number of candidate points visited.
 func (ix *Index) VisitReachableMembers(p geom.Point, pointID int, fn func(id int32)) (visited int) {
-	region := geom.Region(p, ix.Eps)
 	prune2 := 4 * ix.Eps * ix.Eps
 	for _, rid := range ix.MCs[ix.PointMC[pointID]].Reach {
 		z := ix.MCs[rid]
 		// As in EpsNeighborhood: members live strictly within ε of their
 		// center, so MCs centered 2ε or farther away cannot contribute.
-		if geom.DistSq(p, z.Center) >= prune2 {
+		if ix.kern(p, z.Center) >= prune2 {
 			continue
 		}
-		if !z.Aux.RootMBR().Overlaps(region) {
+		if !z.Aux.RootMBR().OverlapsRegion(p, ix.Eps) {
 			continue
 		}
 		for _, id := range z.Members {
@@ -332,13 +381,25 @@ func (ix *Index) VisitReachableMembers(p geom.Point, pointID int, fn func(id int
 	return visited
 }
 
-// WholeSpaceNeighborhood is the ablation variant of EpsNeighborhood that
-// ignores reachable lists and queries every micro-cluster's auxiliary tree
-// (still pruned by MBR overlap). Used by BenchmarkAblationReachable.
-func (ix *Index) WholeSpaceNeighborhood(p geom.Point, fn func(id int, pt geom.Point)) (distCalcs int) {
-	region := geom.Region(p, ix.Eps)
+// WholeSpaceNeighborhoodInto is the ablation variant of EpsNeighborhoodInto
+// that ignores reachable lists and queries every micro-cluster's auxiliary
+// tree (still pruned by MBR overlap). Used by BenchmarkAblationReachable.
+func (ix *Index) WholeSpaceNeighborhoodInto(p geom.Point, dst []int) (_ []int, distCalcs int) {
 	for _, z := range ix.MCs {
-		if !z.Aux.RootMBR().Overlaps(region) {
+		if !z.Aux.RootMBR().OverlapsRegion(p, ix.Eps) {
+			continue
+		}
+		var calcs int
+		dst, calcs = z.Aux.SphereInto(p, ix.Eps, true, dst)
+		distCalcs += calcs
+	}
+	return dst, distCalcs
+}
+
+// WholeSpaceNeighborhood is the callback form of WholeSpaceNeighborhoodInto.
+func (ix *Index) WholeSpaceNeighborhood(p geom.Point, fn func(id int, pt geom.Point)) (distCalcs int) {
+	for _, z := range ix.MCs {
+		if !z.Aux.RootMBR().OverlapsRegion(p, ix.Eps) {
 			continue
 		}
 		distCalcs += z.Aux.Sphere(p, ix.Eps, true, fn)

@@ -13,51 +13,64 @@ import (
 // node overlap than repeated insertion, which matters for the auxiliary
 // R-trees of the μR-tree that are built once and then only queried.
 func BulkLoad(dim, maxEntries int, pts []geom.Point, ids []int) *Tree {
-	t := New(dim, maxEntries)
-	if len(pts) == 0 {
+	set := geom.PointSetFromPoints(dim, pts)
+	return BulkLoadSet(maxEntries, set, ids)
+}
+
+// BulkLoadSet is BulkLoad over a contiguous PointSet: the leaves copy their
+// coordinate rows straight out of the set's backing array, so callers that
+// already hold contiguous points (the μ-cluster builder's per-worker scratch
+// sets) skip the per-point boxing that the []geom.Point signature forces.
+// The set is only read; the tree does not retain it.
+func BulkLoadSet(maxEntries int, set *geom.PointSet, ids []int) *Tree {
+	t := New(set.Dim(), maxEntries)
+	n := set.Len()
+	if n == 0 {
 		return t
 	}
 	if ids == nil {
-		ids = make([]int, len(pts))
+		ids = make([]int, n)
 		for i := range ids {
 			ids[i] = i
 		}
 	}
-	if len(ids) != len(pts) {
+	if len(ids) != n {
 		panic("rtree: BulkLoad ids/pts length mismatch")
 	}
-	order := make([]int, len(pts))
+	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	leaves := t.strPack(pts, ids, order, 0)
-	// Pack upward until a single root remains.
+	leaves := t.strPack(set, ids, order, 0)
+	// Pack upward until a single root remains, cycling the sort axis per
+	// level so higher levels tile on different axes the same way strPack
+	// does for the leaves.
 	level := leaves
-	for len(level) > 1 {
-		level = t.packNodes(level)
+	for axis := 0; len(level) > 1; axis = (axis + 1) % t.dim {
+		level = t.packNodes(level, axis)
 	}
 	t.root = level[0]
-	t.size = len(pts)
+	t.size = n
 	return t
 }
 
-// strPack recursively tiles order (indices into pts) along axis and returns
-// packed leaves.
-func (t *Tree) strPack(pts []geom.Point, ids, order []int, axis int) []*node {
+// strPack recursively tiles order (row indices into set) along axis and
+// returns packed leaves.
+func (t *Tree) strPack(set *geom.PointSet, ids, order []int, axis int) []*node {
 	n := len(order)
 	if n <= t.maxEntries {
 		leaf := &node{leaf: true}
-		leaf.pts = make([]geom.Point, 0, n)
+		leaf.coords = make([]float64, 0, n*t.dim)
 		leaf.ids = make([]int, 0, n)
 		for _, i := range order {
-			leaf.pts = append(leaf.pts, pts[i])
+			leaf.coords = append(leaf.coords, set.Row(i)...)
 			leaf.ids = append(leaf.ids, ids[i])
 		}
-		leaf.mbr = geom.MBRFromPoints(leaf.pts)
+		leaf.mbr = geom.MBRFromBlock(leaf.coords, t.dim)
 		return []*node{leaf}
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return pts[order[a]][axis] < pts[order[b]][axis]
+		return set.Coord(order[a], axis) < set.Coord(order[b], axis)
 	})
 	// Number of leaf pages and vertical slabs per STR.
 	numLeaves := (n + t.maxEntries - 1) / t.maxEntries
@@ -70,16 +83,19 @@ func (t *Tree) strPack(pts []geom.Point, ids, order []int, axis int) []*node {
 		if end > n {
 			end = n
 		}
-		leaves = append(leaves, t.strPack(pts, ids, order[start:end], nextAxis)...)
+		leaves = append(leaves, t.strPack(set, ids, order[start:end], nextAxis)...)
 	}
 	return leaves
 }
 
 // packNodes groups nodes of one level into parents of up to maxEntries
-// children, ordering by MBR center along the first axis for locality.
-func (t *Tree) packNodes(level []*node) []*node {
+// children, ordering by MBR center along the given axis for locality. The
+// sort key Min+Max is the center ×2 — same ordering, no per-node Center()
+// allocation.
+func (t *Tree) packNodes(level []*node, axis int) []*node {
 	sort.Slice(level, func(a, b int) bool {
-		return level[a].mbr.Center()[0] < level[b].mbr.Center()[0]
+		ma, mb := level[a].mbr, level[b].mbr
+		return ma.Min[axis]+ma.Max[axis] < mb.Min[axis]+mb.Max[axis]
 	})
 	var parents []*node
 	for start := 0; start < len(level); start += t.maxEntries {

@@ -7,6 +7,14 @@
 // The tree supports incremental insertion with quadratic node splitting and
 // Sort-Tile-Recursive (STR) bulk loading. Queries are read-only and safe for
 // concurrent use once the tree is built.
+//
+// Leaves store their points as one contiguous row-major coordinate block
+// (copied in at insertion), so a leaf scan is a linear walk of one
+// []float64 rather than a slice-of-slices pointer chase, and the squared
+// distances are computed by a dimension-specialized kernel selected once at
+// construction (geom.KernelFor). SphereInto is the allocation-free query
+// primitive the clustering hot paths use; the callback-based Sphere remains
+// for callers that want the neighbor coordinates.
 package rtree
 
 import (
@@ -26,14 +34,17 @@ type Tree struct {
 	size       int
 	maxEntries int
 	minEntries int
+	kernel     geom.DistSqKernel
 }
 
 type node struct {
 	mbr      geom.MBR
 	leaf     bool
-	children []*node      // internal nodes only
-	pts      []geom.Point // leaf nodes only
-	ids      []int        // leaf nodes only, parallel to pts
+	children []*node
+	// Leaf payload: coords holds len(ids) rows of dim coordinates each,
+	// row-major and contiguous; ids[i] identifies row i.
+	coords []float64
+	ids    []int
 }
 
 // New returns an empty R-tree for points of dimensionality dim with node
@@ -52,6 +63,7 @@ func New(dim, maxEntries int) *Tree {
 		dim:        dim,
 		maxEntries: maxEntries,
 		minEntries: maxEntries * 2 / 5,
+		kernel:     geom.KernelFor(dim),
 	}
 	if t.minEntries < 2 {
 		t.minEntries = 2
@@ -70,8 +82,15 @@ func (t *Tree) Len() int { return t.size }
 // (the empty MBR when the tree is empty).
 func (t *Tree) RootMBR() geom.MBR { return t.root.mbr }
 
-// Insert adds point p with identifier id. The tree keeps a reference to p;
-// the caller must not mutate it afterwards.
+// row returns the coordinate view of leaf row i (capacity-capped so callers
+// cannot append through it into the next row).
+func (t *Tree) row(n *node, i int) geom.Point {
+	o := i * t.dim
+	return geom.Point(n.coords[o : o+t.dim : o+t.dim])
+}
+
+// Insert adds point p with identifier id. The coordinates are copied into
+// the leaf's contiguous block; the caller keeps ownership of p.
 func (t *Tree) Insert(id int, p geom.Point) {
 	if len(p) != t.dim {
 		panic(fmt.Sprintf("rtree: inserting %d-dim point into %d-dim tree", len(p), t.dim))
@@ -98,9 +117,9 @@ func (t *Tree) insert(n *node, id int, p geom.Point) *node {
 		n.mbr.ExtendPoint(p)
 	}
 	if n.leaf {
-		n.pts = append(n.pts, p)
+		n.coords = append(n.coords, p...)
 		n.ids = append(n.ids, id)
-		if len(n.pts) > t.maxEntries {
+		if len(n.ids) > t.maxEntries {
 			return t.splitLeaf(n)
 		}
 		return nil
@@ -153,27 +172,28 @@ func pointEnlargement(m geom.MBR, p geom.Point) (enl, area float64) {
 // splitLeaf performs a quadratic split of an overfull leaf, leaving one group
 // in n and returning the other as a new node.
 func (t *Tree) splitLeaf(n *node) *node {
-	boxes := make([]geom.MBR, len(n.pts))
-	for i, p := range n.pts {
-		boxes[i] = geom.MBRFromPoint(p)
+	dim := t.dim
+	boxes := make([]geom.MBR, len(n.ids))
+	for i := range boxes {
+		boxes[i] = geom.MBRFromPoint(t.row(n, i))
 	}
 	g1, g2 := t.quadraticSplit(boxes)
-	pts, ids := n.pts, n.ids
-	n.pts = make([]geom.Point, 0, len(g1))
+	coords, ids := n.coords, n.ids
+	n.coords = make([]float64, 0, len(g1)*dim)
 	n.ids = make([]int, 0, len(g1))
 	sib := &node{leaf: true}
-	sib.pts = make([]geom.Point, 0, len(g2))
+	sib.coords = make([]float64, 0, len(g2)*dim)
 	sib.ids = make([]int, 0, len(g2))
 	for _, i := range g1 {
-		n.pts = append(n.pts, pts[i])
+		n.coords = append(n.coords, coords[i*dim:(i+1)*dim]...)
 		n.ids = append(n.ids, ids[i])
 	}
 	for _, i := range g2 {
-		sib.pts = append(sib.pts, pts[i])
+		sib.coords = append(sib.coords, coords[i*dim:(i+1)*dim]...)
 		sib.ids = append(sib.ids, ids[i])
 	}
-	n.mbr = geom.MBRFromPoints(n.pts)
-	sib.mbr = geom.MBRFromPoints(sib.pts)
+	n.mbr = geom.MBRFromBlock(n.coords, dim)
+	sib.mbr = geom.MBRFromBlock(sib.coords, dim)
 	return sib
 }
 
@@ -298,29 +318,68 @@ func (t *Tree) Sphere(center geom.Point, r float64, strict bool, fn func(id int,
 	if t.size == 0 {
 		return 0
 	}
-	r2 := r * r
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.leaf {
-			for i, p := range n.pts {
-				distCalcs++
-				d2 := geom.DistSq(center, p)
-				if d2 < r2 || (!strict && d2 == r2) {
-					if fn != nil {
-						fn(n.ids[i], p)
-					}
+	return t.sphere(t.root, center, r*r, !strict, fn)
+}
+
+// sphere is Sphere's recursive walk. It is a plain method (no closures) so
+// the query allocates nothing.
+func (t *Tree) sphere(n *node, center geom.Point, r2 float64, closed bool, fn func(id int, pt geom.Point)) int {
+	if n.leaf {
+		dim := t.dim
+		for i, o := 0, 0; i < len(n.ids); i, o = i+1, o+dim {
+			row := n.coords[o : o+dim : o+dim]
+			d2 := t.kernel(center, row)
+			if d2 < r2 || (closed && d2 == r2) {
+				if fn != nil {
+					fn(n.ids[i], geom.Point(row))
 				}
 			}
-			return
 		}
-		for _, c := range n.children {
-			if c.mbr.MinDistSq(center) <= r2 {
-				walk(c)
-			}
+		return len(n.ids)
+	}
+	calcs := 0
+	for _, c := range n.children {
+		if c.mbr.MinDistSq(center) <= r2 {
+			calcs += t.sphere(c, center, r2, closed, fn)
 		}
 	}
-	walk(t.root)
-	return distCalcs
+	return calcs
+}
+
+// SphereInto appends to dst the ids of every stored point strictly within r
+// of center (or within the closed ball when strict is false) and returns the
+// extended slice plus the number of point-distance computations. Hit order
+// matches Sphere's visit order. The query performs zero allocations once dst
+// has warmed to the neighborhood size, which is what lets the clustering
+// loops run allocation-free in steady state.
+func (t *Tree) SphereInto(center geom.Point, r float64, strict bool, dst []int) ([]int, int) {
+	if t.size == 0 {
+		return dst, 0
+	}
+	return t.sphereInto(t.root, center, r*r, !strict, dst)
+}
+
+func (t *Tree) sphereInto(n *node, center geom.Point, r2 float64, closed bool, dst []int) ([]int, int) {
+	if n.leaf {
+		return geom.AppendWithinBlock(dst, n.ids, n.coords, t.dim, center, r2, closed), len(n.ids)
+	}
+	calcs := 0
+	for _, c := range n.children {
+		if c.mbr.MinDistSq(center) <= r2 {
+			var k int
+			dst, k = t.sphereInto(c, center, r2, closed, dst)
+			calcs += k
+		}
+	}
+	return dst, calcs
+}
+
+// nearestState carries the running best of a Nearest walk.
+type nearestState struct {
+	best   float64
+	bestID int
+	bestPt geom.Point
+	strict bool
 }
 
 // Nearest returns the id and point of the stored point closest to center
@@ -330,35 +389,35 @@ func (t *Tree) Nearest(center geom.Point, r float64, strict bool) (id int, pt ge
 	if t.size == 0 {
 		return 0, nil, false
 	}
-	best := r * r
-	bestID := -1
-	var bestPt geom.Point
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.leaf {
-			for i, p := range n.pts {
-				d2 := geom.DistSq(center, p)
-				better := d2 < best || (!strict && d2 == best && (bestID == -1 || n.ids[i] < bestID))
-				if strict && d2 == best && bestID != -1 && n.ids[i] < bestID {
-					better = true
-				}
-				if better {
-					best, bestID, bestPt = d2, n.ids[i], p
-				}
-			}
-			return
-		}
-		for _, c := range n.children {
-			if c.mbr.MinDistSq(center) <= best {
-				walk(c)
-			}
-		}
-	}
-	walk(t.root)
-	if bestID == -1 {
+	st := nearestState{best: r * r, bestID: -1, strict: strict}
+	t.nearest(t.root, center, &st)
+	if st.bestID == -1 {
 		return 0, nil, false
 	}
-	return bestID, bestPt, true
+	return st.bestID, st.bestPt, true
+}
+
+func (t *Tree) nearest(n *node, center geom.Point, st *nearestState) {
+	if n.leaf {
+		dim := t.dim
+		for i, o := 0, 0; i < len(n.ids); i, o = i+1, o+dim {
+			row := n.coords[o : o+dim : o+dim]
+			d2 := t.kernel(center, row)
+			better := d2 < st.best || (!st.strict && d2 == st.best && (st.bestID == -1 || n.ids[i] < st.bestID))
+			if st.strict && d2 == st.best && st.bestID != -1 && n.ids[i] < st.bestID {
+				better = true
+			}
+			if better {
+				st.best, st.bestID, st.bestPt = d2, n.ids[i], geom.Point(row)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.mbr.MinDistSq(center) <= st.best {
+			t.nearest(c, center, st)
+		}
+	}
 }
 
 // Any reports whether some stored point lies strictly within r of center
@@ -368,26 +427,26 @@ func (t *Tree) Any(center geom.Point, r float64, strict bool) bool {
 	if t.size == 0 {
 		return false
 	}
-	r2 := r * r
-	var walk func(n *node) bool
-	walk = func(n *node) bool {
-		if n.leaf {
-			for _, p := range n.pts {
-				d2 := geom.DistSq(center, p)
-				if d2 < r2 || (!strict && d2 == r2) {
-					return true
-				}
-			}
-			return false
-		}
-		for _, c := range n.children {
-			if c.mbr.MinDistSq(center) <= r2 && walk(c) {
+	return t.any(t.root, center, r*r, !strict)
+}
+
+func (t *Tree) any(n *node, center geom.Point, r2 float64, closed bool) bool {
+	if n.leaf {
+		dim := t.dim
+		for o := 0; o+dim <= len(n.coords); o += dim {
+			d2 := t.kernel(center, n.coords[o:o+dim:o+dim])
+			if d2 < r2 || (closed && d2 == r2) {
 				return true
 			}
 		}
 		return false
 	}
-	return walk(t.root)
+	for _, c := range n.children {
+		if c.mbr.MinDistSq(center) <= r2 && t.any(c, center, r2, closed) {
+			return true
+		}
+	}
+	return false
 }
 
 // Rect visits every stored point inside rect (closed bounds).
@@ -395,41 +454,42 @@ func (t *Tree) Rect(rect geom.MBR, fn func(id int, pt geom.Point)) {
 	if t.size == 0 {
 		return
 	}
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.leaf {
-			for i, p := range n.pts {
-				if rect.Contains(p) {
-					fn(n.ids[i], p)
-				}
+	t.rect(t.root, rect, fn)
+}
+
+func (t *Tree) rect(n *node, rect geom.MBR, fn func(id int, pt geom.Point)) {
+	if n.leaf {
+		for i := range n.ids {
+			row := t.row(n, i)
+			if rect.Contains(row) {
+				fn(n.ids[i], row)
 			}
-			return
 		}
-		for _, c := range n.children {
-			if c.mbr.Overlaps(rect) {
-				walk(c)
-			}
+		return
+	}
+	for _, c := range n.children {
+		if c.mbr.Overlaps(rect) {
+			t.rect(c, rect, fn)
 		}
 	}
-	walk(t.root)
 }
 
 // All visits every stored point in unspecified order.
 func (t *Tree) All(fn func(id int, pt geom.Point)) {
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.leaf {
-			for i, p := range n.pts {
-				fn(n.ids[i], p)
-			}
-			return
-		}
-		for _, c := range n.children {
-			walk(c)
-		}
-	}
 	if t.size > 0 {
-		walk(t.root)
+		t.all(t.root, fn)
+	}
+}
+
+func (t *Tree) all(n *node, fn func(id int, pt geom.Point)) {
+	if n.leaf {
+		for i := range n.ids {
+			fn(n.ids[i], t.row(n, i))
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.all(c, fn)
 	}
 }
 

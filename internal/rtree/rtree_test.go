@@ -236,12 +236,15 @@ func invariantCheck(t *testing.T, tr *Tree) {
 	t.Helper()
 	var walk func(n *node, depth int) int
 	walk = func(n *node, depth int) int {
-		if len(n.children) > tr.maxEntries || len(n.pts) > tr.maxEntries {
+		if len(n.children) > tr.maxEntries || len(n.ids) > tr.maxEntries {
 			t.Fatalf("node exceeds maxEntries")
 		}
 		if n.leaf {
-			for _, p := range n.pts {
-				if !n.mbr.Contains(p) {
+			if len(n.coords) != len(n.ids)*tr.dim {
+				t.Fatalf("leaf coords/ids out of sync: %d coords for %d ids", len(n.coords), len(n.ids))
+			}
+			for i := range n.ids {
+				if !n.mbr.Contains(tr.row(n, i)) {
 					t.Fatalf("leaf MBR misses point")
 				}
 			}

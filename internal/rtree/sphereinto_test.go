@@ -1,0 +1,163 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mudbscan/internal/geom"
+)
+
+// SphereInto must return exactly the ids the callback API reports, in the
+// same visit order, with the same distance-calculation count.
+func TestSphereIntoMatchesSphere(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 6} {
+		rng := rand.New(rand.NewSource(int64(100 + d)))
+		pts := randPoints(rng, 600, d)
+		for _, tr := range []*Tree{
+			func() *Tree {
+				in := New(d, 8)
+				for i, p := range pts {
+					in.Insert(i, p)
+				}
+				return in
+			}(),
+			BulkLoad(d, 8, pts, nil),
+		} {
+			buf := make([]int, 0, 64)
+			for trial := 0; trial < 40; trial++ {
+				c := pts[rng.Intn(len(pts))]
+				r := rng.Float64() * 30
+				strict := trial%2 == 0
+				var want []int
+				wantCalcs := tr.Sphere(c, r, strict, func(id int, _ geom.Point) {
+					want = append(want, id)
+				})
+				got, gotCalcs := tr.SphereInto(c, r, strict, buf[:0])
+				if gotCalcs != wantCalcs {
+					t.Fatalf("d=%d distCalcs %d != %d", d, gotCalcs, wantCalcs)
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("d=%d SphereInto ids diverge from Sphere (order-sensitive): got %v want %v", d, got, want)
+				}
+				buf = got
+			}
+		}
+	}
+}
+
+func TestSphereIntoAppendsToDst(t *testing.T) {
+	tr := New(2, 0)
+	tr.Insert(7, geom.Point{0, 0})
+	dst := []int{42}
+	got, _ := tr.SphereInto(geom.Point{0, 0}, 1, true, dst)
+	if !equalInts(got, []int{42, 7}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// A steady-state ε-query through SphereInto must not allocate: the scratch
+// buffer is reused and the tree walk is closure-free.
+func TestSphereIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randPoints(rng, 2000, 3)
+	tr := BulkLoad(3, 16, pts, nil)
+	buf := make([]int, 0, 2048)
+	centers := pts[:64]
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, _ = tr.SphereInto(centers[i%len(centers)], 8, true, buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("SphereInto allocated %.1f times per query; want 0", allocs)
+	}
+}
+
+func TestAnyAndNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pts := randPoints(rng, 400, 2)
+	tr := BulkLoad(2, 8, pts, nil)
+	for trial := 0; trial < 40; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		r := rng.Float64() * 20
+		hits := bruteSphere(pts, c, r, true)
+		if got := tr.Any(c, r, true); got != (len(hits) > 0) {
+			t.Fatalf("Any=%v with %d brute hits", got, len(hits))
+		}
+		id, pt, ok := tr.Nearest(c, r, true)
+		if ok != (len(hits) > 0) {
+			t.Fatalf("Nearest ok=%v with %d brute hits", ok, len(hits))
+		}
+		if ok {
+			best, bestID := -1.0, -1
+			for _, h := range hits {
+				d2 := geom.DistSq(c, pts[h])
+				if bestID == -1 || d2 < best || (d2 == best && h < bestID) {
+					best, bestID = d2, h
+				}
+			}
+			if id != bestID || geom.DistSq(c, pt) != best {
+				t.Fatalf("Nearest id=%d want %d", id, bestID)
+			}
+		}
+	}
+}
+
+func TestBulkLoadSetMatchesBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randPoints(rng, 700, 3)
+	set := geom.PointSetFromPoints(3, pts)
+	a := BulkLoad(3, 8, pts, nil)
+	b := BulkLoadSet(8, set, nil)
+	for trial := 0; trial < 30; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		r := rng.Float64() * 25
+		ga := collectSphere(a, c, r, true)
+		gb := collectSphere(b, c, r, true)
+		sort.Ints(ga)
+		sort.Ints(gb)
+		if !equalInts(ga, gb) {
+			t.Fatalf("BulkLoadSet diverges from BulkLoad")
+		}
+	}
+	if BulkLoadSet(8, geom.NewPointSet(3, 0), nil).Len() != 0 {
+		t.Fatal("empty BulkLoadSet")
+	}
+}
+
+func benchTree(b *testing.B, d int) (*Tree, []geom.Point) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(d)))
+	pts := randPoints(rng, 20000, d)
+	return BulkLoad(d, 16, pts, nil), pts
+}
+
+func benchmarkSphere(b *testing.B, d int) {
+	tr, pts := benchTree(b, d)
+	buf := make([]int, 0, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = tr.SphereInto(pts[i%len(pts)], 3, true, buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkSphereInto2D(b *testing.B) { benchmarkSphere(b, 2) }
+func BenchmarkSphereInto3D(b *testing.B) { benchmarkSphere(b, 3) }
+
+func benchmarkSphereCallback(b *testing.B, d int) {
+	tr, pts := benchTree(b, d)
+	buf := make([]int, 0, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		tr.Sphere(pts[i%len(pts)], 3, true, func(id int, _ geom.Point) {
+			buf = append(buf, id)
+		})
+	}
+	_ = buf
+}
+
+func BenchmarkSphereCallback2D(b *testing.B) { benchmarkSphereCallback(b, 2) }
+func BenchmarkSphereCallback3D(b *testing.B) { benchmarkSphereCallback(b, 3) }

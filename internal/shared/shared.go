@@ -117,7 +117,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 	ix.ComputeReachable()
 	st.Steps.FindingReachable = time.Since(start)
 
-	s := newState(pts, eps, minPts, ix, workers)
+	s := newState(ix, eps, minPts, workers)
 
 	// Step 3a: preliminary clusters from DMC/CMC, parallel over MCs. Each MC
 	// is handled by exactly one worker, so the per-MC wholeness flag is a
@@ -184,15 +184,14 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 	prune2 := 4 * eps * eps
 	par.For(workers, len(wndqList), func(w, k int) {
 		pid := wndqList[k]
-		p := pts[pid]
+		p := s.set.Point(int(pid))
 		rootP := s.uf.Find(int(pid))
-		region := geom.Region(p, eps)
 		for _, rid := range ix.MCs[ix.PointMC[pid]].Reach {
 			z := ix.MCs[rid]
-			if geom.DistSq(p, z.Center) >= prune2 {
+			if s.kern(p, z.Center) >= prune2 {
 				continue
 			}
-			if !z.Aux.RootMBR().Overlaps(region) {
+			if !z.Aux.RootMBR().OverlapsRegion(p, eps) {
 				continue
 			}
 			wholeMC := s.mcWhole[rid]
@@ -207,7 +206,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 					continue
 				}
 				s.counters[w].distCalcs++
-				if geom.DistSq(p, pts[q]) >= eps2 {
+				if s.kern(p, s.set.Row(int(q))) >= eps2 {
 					continue
 				}
 				s.uf.Union(int(pid), int(q))
@@ -278,7 +277,8 @@ type workerCounters struct {
 }
 
 type state struct {
-	pts    []geom.Point
+	set    *geom.PointSet
+	kern   geom.DistSqKernel
 	eps    float64
 	minPts int
 	ix     *mc.Index
@@ -291,10 +291,15 @@ type state struct {
 	// Per-worker arenas, sized to the worker count at construction and never
 	// grown: worker w owns index w of each outer slice exclusively, so the
 	// appends below are unsynchronized by design. Interior pointers into
-	// these outer slices are forbidden — see the package comment.
+	// these outer slices are forbidden — see the package comment. The nbhd and
+	// inner scratch buffers make every steady-state ε-query allocation-free:
+	// worker w reuses its own pair for each query, copying out only what must
+	// outlive the query (provisional noise neighborhoods).
 	wndqLists  [][]int32
 	deferred   [][][2]int32
 	noiseLists [][]noiseEntry
+	nbhdBufs   [][]int
+	innerBufs  [][]bool
 	counters   []workerCounters
 
 	// mcWhole[id] reports that every member of MC id shares the center's
@@ -303,10 +308,11 @@ type state struct {
 	mcWhole []bool
 }
 
-func newState(pts []geom.Point, eps float64, minPts int, ix *mc.Index, workers int) *state {
-	n := len(pts)
+func newState(ix *mc.Index, eps float64, minPts, workers int) *state {
+	n := ix.Points.Len()
 	return &state{
-		pts: pts, eps: eps, minPts: minPts, ix: ix,
+		set: ix.Points, kern: geom.KernelFor(ix.Dim),
+		eps: eps, minPts: minPts, ix: ix,
 		uf:         unionfind.NewConcurrent(n),
 		core:       make([]atomic.Bool, n),
 		wndq:       make([]atomic.Bool, n),
@@ -314,6 +320,8 @@ func newState(pts []geom.Point, eps float64, minPts int, ix *mc.Index, workers i
 		wndqLists:  make([][]int32, workers),
 		deferred:   make([][][2]int32, workers),
 		noiseLists: make([][]noiseEntry, workers),
+		nbhdBufs:   make([][]int, workers),
+		innerBufs:  make([][]bool, workers),
 		counters:   make([]workerCounters, workers),
 		mcWhole:    make([]bool, ix.NumMCs()),
 	}
@@ -354,19 +362,24 @@ func (s *state) linkFromCore(w int, c, q int32) bool {
 }
 
 func (s *state) processPoint(w, i int) {
-	p := s.pts[i]
+	p := s.set.Point(i)
 	half2 := (s.eps / 2) * (s.eps / 2)
-	var nbhd []int32
-	var inner []bool
+	var calcs int
+	nbhd := s.nbhdBufs[w][:0]
+	nbhd, calcs, _ = s.ix.EpsNeighborhoodInto(p, i, nbhd)
+	s.nbhdBufs[w] = nbhd
+	if cap(s.innerBufs[w]) < len(nbhd) {
+		s.innerBufs[w] = make([]bool, len(nbhd))
+	}
+	inner := s.innerBufs[w][:len(nbhd)]
 	innerCount := 0
-	calcs, _ := s.ix.EpsNeighborhood(p, i, func(id int, pt geom.Point) {
-		nbhd = append(nbhd, int32(id))
-		in := geom.DistSq(p, pt) < half2
-		inner = append(inner, in)
+	for k, q := range nbhd {
+		in := s.kern(p, s.set.Row(q)) < half2
+		inner[k] = in
 		if in {
 			innerCount++
 		}
-	})
+	}
 	// Query cost plus the inner-circle tests, matching core.Stats accounting.
 	s.counters[w].distCalcs += int64(calcs) + int64(len(nbhd))
 
@@ -377,26 +390,32 @@ func (s *state) processPoint(w, i int) {
 		for _, q := range nbhd {
 			if s.core[q].Load() {
 				if s.assigned[i].CompareAndSwap(false, true) {
-					s.uf.Union(int(q), i)
+					s.uf.Union(q, i)
 				}
 				return
 			}
 		}
-		s.noiseLists[w] = append(s.noiseLists[w], noiseEntry{id: int32(i), nbhd: nbhd})
+		// The scratch buffer is reused on the next query, so the stored
+		// neighborhood must be an owned copy.
+		saved := make([]int32, len(nbhd))
+		for k, q := range nbhd {
+			saved[k] = int32(q)
+		}
+		s.noiseLists[w] = append(s.noiseLists[w], noiseEntry{id: int32(i), nbhd: saved})
 		return
 	}
 
 	s.core[i].Store(true)
 	if innerCount >= s.minPts {
 		for k, q := range nbhd {
-			if inner[k] && int(q) != i && !s.core[q].Load() {
-				s.markWndq(w, q, false)
+			if inner[k] && q != i && !s.core[q].Load() {
+				s.markWndq(w, int32(q), false)
 			}
 		}
 	}
 	for _, q := range nbhd {
-		if int(q) != i {
-			s.linkFromCore(w, int32(i), q)
+		if q != i {
+			s.linkFromCore(w, int32(i), int32(q))
 		}
 	}
 }
