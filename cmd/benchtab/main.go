@@ -8,11 +8,13 @@
 //	benchtab -list                  # show available experiments
 //
 // Experiments: table1..table8, fig5..fig7, shared, wallclock, ablations,
-// kernels, all. The tables and figures use the serial rank simulation (isolation
-// timing, the paper's methodology); wallclock additionally runs the
-// concurrent driver and reports real end-to-end wall-clock next to the
-// simulated totals. See DESIGN.md §4 for the mapping to the paper, and
-// EXPERIMENTS.md for recorded results.
+// kernels, chaos, all. The tables and figures use the serial rank simulation
+// (isolation timing, the paper's methodology); wallclock additionally runs
+// the concurrent driver and reports real end-to-end wall-clock next to the
+// simulated totals; chaos compares the trusting transport against the
+// hardened envelope/ack path and reports fault-absorption counters under
+// deterministic fault plans. See DESIGN.md §4 for the mapping to the paper
+// (§11 for the fault model), and EXPERIMENTS.md for recorded results.
 package main
 
 import (

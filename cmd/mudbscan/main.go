@@ -4,8 +4,8 @@
 // Usage:
 //
 //	mudbscan -eps 0.5 -minpts 5 [-mode seq|parallel|dist] [-ranks 8]
-//	         [-dist-serial] [-workers 4] [-in points.csv] [-out labels.txt]
-//	         [-stats]
+//	         [-dist-serial] [-hardened] [-chaos-seed 3] [-workers 4]
+//	         [-in points.csv] [-out labels.txt] [-stats]
 //
 // The input is CSV (one point per line; comma, space, tab or semicolon
 // separated) or the compact binary format produced by datagen -format bin
@@ -44,6 +44,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 		mode    = fs.String("mode", "seq", "execution mode: seq, parallel or dist")
 		ranks   = fs.Int("ranks", 8, "simulated ranks for -mode dist (power of two)")
 		distSer = fs.Bool("dist-serial", false, "run -mode dist ranks one at a time (isolation timing) instead of concurrently")
+		harden  = fs.Bool("hardened", false, "wrap -mode dist messages in checksummed ack/retransmit envelopes")
+		chSeed  = fs.Int64("chaos-seed", 0, "inject deterministic network faults into -mode dist from this seed (0 = off; implies -hardened)")
 		workers = fs.Int("workers", 0, "goroutines for -mode parallel (0 = GOMAXPROCS)")
 		inPath  = fs.String("in", "-", "input dataset (CSV, or .bin binary; - = stdin)")
 		outPath = fs.String("out", "-", "output labels file (- = stdout)")
@@ -114,12 +116,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 		if *distSer {
 			distOpts = append(distOpts, mudbscan.WithSerialSimulation())
 		}
+		if *harden {
+			distOpts = append(distOpts, mudbscan.WithHardenedComms())
+		}
+		if *chSeed != 0 {
+			distOpts = append(distOpts, mudbscan.WithFaultInjection(*chSeed))
+		}
 		var st *mudbscan.DistStats
 		result, st, err = mudbscan.ClusterDistributed(rows, *eps, *minPts, *ranks, distOpts...)
 		if err == nil && *stats {
 			fmt.Fprintf(stderr, "n=%d ranks=%d m=%d halo=%d commBytes=%d wallclock=%v simulated=%v time=%v\n",
 				len(pts), st.Ranks, st.NumMCs, st.HaloPoints, st.Comm.TotalBytes(),
 				st.WallClock, st.Phases.Total(), time.Since(start))
+			if *harden || *chSeed != 0 {
+				fmt.Fprintf(stderr, "reliability: envBytes=%d retx=%d timeouts=%d corruptDropped=%d dupDropped=%d\n",
+					st.Comm.EnvelopeBytes, st.Comm.Retransmits, st.Comm.Timeouts,
+					st.Comm.CorruptDropped, st.Comm.DupDropped)
+			}
 		}
 	default:
 		return fmt.Errorf("unknown -mode %q (want seq, parallel or dist)", *mode)

@@ -84,6 +84,25 @@ func TestModes(t *testing.T) {
 	}
 }
 
+func TestHardenedAndChaosFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-eps", "0.5", "-minpts", "3", "-mode", "dist", "-ranks", "2", "-hardened", "-stats"},
+		{"-eps", "0.5", "-minpts", "3", "-mode", "dist", "-ranks", "2", "-chaos-seed", "3", "-stats"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, strings.NewReader(squareCSV), &stdout, &stderr); err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+		labels := strings.Fields(stdout.String())
+		if len(labels) != 9 || labels[8] != "-1" {
+			t.Fatalf("args %v stdout: %q", args, stdout.String())
+		}
+		if !strings.Contains(stderr.String(), "envBytes=") {
+			t.Fatalf("args %v: reliability counters missing from stats: %q", args, stderr.String())
+		}
+	}
+}
+
 func TestSuggestEpsFlag(t *testing.T) {
 	var csv strings.Builder
 	for i := 0; i < 300; i++ {

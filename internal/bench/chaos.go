@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mudbscan/internal/chaos"
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/dist"
+	"mudbscan/internal/mpi"
+)
+
+// Chaos measures what the reliability layer costs and what it absorbs.
+//
+// The first table sweeps ranks on a clean network: the trusting transport
+// against the hardened envelope/ack path, both producing byte-identical
+// clusterings — the overhead column is the price of sequence numbers,
+// checksums, and acknowledgments when nothing goes wrong. The second table
+// routes the same workload through deterministic fault plans and reports the
+// counters of every absorbed fault class, with the output still asserted
+// exact against the clean run.
+func Chaos(cfg Config) error {
+	cfg = cfg.withDefaults()
+	s := specMPAGD8M
+	pts := s.Points(cfg.Scale)
+	ranks := wallclockRanks(minInt(cfg.Ranks, 8))
+
+	fmt.Fprintf(cfg.Out, "hardened-transport overhead on a clean network, %s (n=%d)\n",
+		s.ScaledName(cfg.Scale), len(pts))
+	t := newTable(cfg.Out)
+	t.row("Ranks", "trusting(s)", "hardened(s)", "overhead", "env bytes", "identical")
+	var ref *clustering.Result
+	for _, p := range ranks {
+		trusting, st0, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, p, dist.Options{Seed: 1})
+		if err != nil {
+			return err
+		}
+		hardened, st1, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, p, dist.Options{Seed: 1, Hardened: true})
+		if err != nil {
+			return err
+		}
+		if p == ranks[len(ranks)-1] {
+			ref = trusting
+		}
+		t.row(fmt.Sprint(p),
+			seconds(st0.WallClock), seconds(st1.WallClock),
+			fmt.Sprintf("%+.1f%%", 100*(float64(st1.WallClock)/float64(st0.WallClock)-1)),
+			fmt.Sprint(st1.Comm.EnvelopeBytes),
+			fmt.Sprint(sameClustering(trusting, hardened)))
+	}
+	t.flush()
+
+	p := ranks[len(ranks)-1]
+	fmt.Fprintf(cfg.Out, "\nfault absorption at %d ranks (eventually-delivering plans)\n", p)
+	t = newTable(cfg.Out)
+	t.row("Plan seed", "wall(s)", "retx", "timeouts", "corrupt", "dup", "exact")
+	for seed := int64(1); seed <= 3; seed++ {
+		got, st, err := dist.MuDBSCAND(pts, s.Eps, s.MinPts, p, dist.Options{
+			Seed:      1,
+			Hardened:  true,
+			Transport: chaos.New(chaos.Eventual(seed)),
+			Retry:     mpi.RetryPolicy{BaseTimeout: time.Millisecond, MaxTimeout: 10 * time.Millisecond, MaxAttempts: 14},
+		})
+		if err != nil {
+			return err
+		}
+		t.row(fmt.Sprint(seed), seconds(st.WallClock),
+			fmt.Sprint(st.Comm.Retransmits), fmt.Sprint(st.Comm.Timeouts),
+			fmt.Sprint(st.Comm.CorruptDropped), fmt.Sprint(st.Comm.DupDropped),
+			fmt.Sprint(sameClustering(ref, got)))
+	}
+	t.flush()
+	return nil
+}
+
+// sameClustering reports byte identity of labels and core flags.
+func sameClustering(a, b *clustering.Result) bool {
+	if a == nil || b == nil || len(a.Labels) != len(b.Labels) {
+		return false
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] || a.Core[i] != b.Core[i] {
+			return false
+		}
+	}
+	return true
+}

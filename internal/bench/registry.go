@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"wallclock", "μDBSCAN-D simulated vs real wall-clock across rank counts", Wallclock},
 		{"ablations", "design-choice ablations (DESIGN.md §5)", Ablations},
 		{"kernels", "flattened hot-path layout vs legacy (kernel + block-scan speedups)", Kernels},
+		{"chaos", "hardened-transport overhead and fault absorption (DESIGN.md §11)", Chaos},
 	}
 }
 

@@ -1,0 +1,296 @@
+// Package chaos provides a deterministic fault-injecting mpi.Transport: a
+// decorator over the in-process interconnect that drops, duplicates,
+// reorders, delays and bit-corrupts messages on a per-link schedule
+// reproducible from a single seed.
+//
+// # Determinism under seed
+//
+// Each directed link (from, to) owns an RNG seeded from (Plan.Seed, from,
+// to), and every delivery attempt consumes a fixed number of draws from it,
+// so the fault decision for the k-th attempt on a link is a pure function
+// of (seed, link, k) — independent of goroutine scheduling, wall-clock time
+// or what other links are doing. Concurrent ranks can interleave attempts
+// differently across runs, which permutes which message receives which
+// decision, but the decision sequence per link is frozen by the seed; the
+// chaos conformance suite asserts the clustering is byte-identical no
+// matter how that lottery lands.
+//
+// # Eventual delivery
+//
+// Plans produced by Eventual guarantee progress: a link damages (drops,
+// corrupts, or holds for reordering) at most MaxBurst consecutive attempts,
+// after which the next attempt is delivered clean. Combined with the
+// hardened runtime's retransmission this bounds every exchange, so the
+// retry budget is sufficient deterministically, not just probabilistically.
+// Plans with Cut links are not eventually delivering: those links black-hole
+// every frame, modeling a lost rank.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mudbscan/internal/mpi"
+)
+
+// Link is a directed rank pair.
+type Link struct{ From, To int }
+
+// Plan is a per-link fault schedule. Probabilities are per delivery
+// attempt; independent faults compose with a priority order (cut > forced
+// clean > drop > corrupt > hold-for-reorder > deliver, possibly duplicated
+// and/or delayed).
+type Plan struct {
+	// Seed freezes the fault schedule; two Nets built from equal Plans make
+	// identical per-link decision sequences.
+	Seed int64
+	// Drop is the probability an attempt is silently discarded.
+	Drop float64
+	// Dup is the probability a delivered frame is delivered twice.
+	Dup float64
+	// Corrupt is the probability a delivered frame has one bit flipped (in
+	// a copy — the sender's retransmission buffer is never touched).
+	Corrupt float64
+	// Reorder is the probability a frame is held back and released only
+	// after the link's next delivered frame (i.e. the pair arrives swapped).
+	Reorder float64
+	// Delay is the probability a delivered frame is postponed by a uniform
+	// duration in (0, MaxDelay], delivered from a separate goroutine.
+	Delay float64
+	// MaxDelay bounds injected delays; 0 disables delay regardless of Delay.
+	MaxDelay time.Duration
+	// MaxBurst caps consecutive damaged attempts per link (0 = 3): the
+	// attempt after a full burst is always delivered clean, which is what
+	// makes the plan eventually delivering.
+	MaxBurst int
+	// Cut lists directed links that black-hole every frame (after CutAfter
+	// successful attempts), modeling permanent loss of connectivity.
+	Cut []Link
+	// CutAfter is how many attempts a Cut link lets through before dying.
+	CutAfter int
+}
+
+// Eventual returns the standard mixed fault plan used by the conformance
+// suite: every fault class enabled, eventually delivering.
+func Eventual(seed int64) Plan {
+	return Plan{
+		Seed:     seed,
+		Drop:     0.10,
+		Dup:      0.08,
+		Corrupt:  0.08,
+		Reorder:  0.10,
+		Delay:    0.12,
+		MaxDelay: 200 * time.Microsecond,
+		MaxBurst: 2,
+	}
+}
+
+// PermanentLoss returns the Eventual plan with one directed link cut dead
+// from the start — the scenario that must surface dist.ErrRankLost.
+func PermanentLoss(seed int64, from, to int) Plan {
+	p := Eventual(seed)
+	p.Cut = []Link{{From: from, To: to}}
+	return p
+}
+
+// Counts reports what a Net did to the traffic that crossed it.
+type Counts struct {
+	Delivered, Dropped, Duplicated, Corrupted, Reordered, Delayed int64
+}
+
+// Net implements mpi.Transport (and mpi.Drainer) by executing a Plan.
+// Safe for concurrent use by all rank goroutines.
+type Net struct {
+	plan  Plan
+	cut   map[Link]bool
+	mu    sync.Mutex
+	links map[Link]*linkFaults
+	// delayMu gates delays.Add against Drain's delays.Wait: a delivery
+	// either registers its delay goroutine before Drain flips stopped (and
+	// is then waited for) or observes stopped and delivers synchronously.
+	delayMu sync.Mutex
+	delays  sync.WaitGroup
+	stopped atomic.Bool
+
+	delivered, dropped, duplicated, corrupted, reordered, delayed int64
+}
+
+// linkFaults is one directed link's schedule state.
+type linkFaults struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	n     int // delivery attempts seen
+	burst int // consecutive damaged attempts
+	held  *heldFrame
+}
+
+type heldFrame struct {
+	m       mpi.Message
+	deliver func(mpi.Message)
+}
+
+// New builds a Net executing plan.
+func New(plan Plan) *Net {
+	n := &Net{plan: plan, cut: make(map[Link]bool), links: make(map[Link]*linkFaults)}
+	for _, l := range plan.Cut {
+		n.cut[l] = true
+	}
+	return n
+}
+
+// Counts returns a snapshot of the fault counters.
+func (n *Net) Counts() Counts {
+	return Counts{
+		Delivered:  atomic.LoadInt64(&n.delivered),
+		Dropped:    atomic.LoadInt64(&n.dropped),
+		Duplicated: atomic.LoadInt64(&n.duplicated),
+		Corrupted:  atomic.LoadInt64(&n.corrupted),
+		Reordered:  atomic.LoadInt64(&n.reordered),
+		Delayed:    atomic.LoadInt64(&n.delayed),
+	}
+}
+
+func (n *Net) linkFor(l Link) *linkFaults {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.links[l]
+	if lf == nil {
+		// Mix the link coordinates into the seed with distinct odd constants
+		// so links get decorrelated streams from one plan seed.
+		seed := n.plan.Seed*1000003 ^ int64(l.From)*8191 ^ int64(l.To)*131071
+		lf = &linkFaults{rng: rand.New(rand.NewSource(seed))}
+		n.links[l] = lf
+	}
+	return lf
+}
+
+// Deliver implements mpi.Transport.
+func (n *Net) Deliver(from, to int, m mpi.Message, deliver func(mpi.Message)) {
+	l := Link{From: from, To: to}
+	lf := n.linkFor(l)
+
+	lf.mu.Lock()
+	idx := lf.n
+	lf.n++
+	// Fixed draw pattern — one draw per fault class plus two for corruption
+	// position and delay length — keeps the k-th attempt's fate a pure
+	// function of (seed, link, k) whatever faults are enabled.
+	uDrop := lf.rng.Float64()
+	uDup := lf.rng.Float64()
+	uCorrupt := lf.rng.Float64()
+	uReorder := lf.rng.Float64()
+	uDelay := lf.rng.Float64()
+	corruptBit := lf.rng.Uint64()
+	delayFrac := lf.rng.Float64()
+
+	if n.cut[l] && idx >= n.plan.CutAfter {
+		lf.mu.Unlock()
+		atomic.AddInt64(&n.dropped, 1)
+		return
+	}
+
+	maxBurst := n.plan.MaxBurst
+	if maxBurst <= 0 {
+		maxBurst = 3
+	}
+	// After Drain (stopped) or a full damage burst, the attempt is forced
+	// clean, synchronous and undelayed.
+	forced := n.stopped.Load() || lf.burst >= maxBurst
+	if !forced {
+		switch {
+		case uDrop < n.plan.Drop:
+			lf.burst++
+			lf.mu.Unlock()
+			atomic.AddInt64(&n.dropped, 1)
+			return
+		case uCorrupt < n.plan.Corrupt && len(m.Data) > 0:
+			lf.burst++
+			lf.mu.Unlock()
+			cp := append([]byte(nil), m.Data...)
+			bit := corruptBit % uint64(len(cp)*8)
+			cp[bit/8] ^= 1 << (bit % 8)
+			atomic.AddInt64(&n.corrupted, 1)
+			deliver(mpi.Message{Tag: m.Tag, Data: cp})
+			return
+		case uReorder < n.plan.Reorder && lf.held == nil:
+			lf.held = &heldFrame{m: m, deliver: deliver}
+			lf.burst++
+			lf.mu.Unlock()
+			atomic.AddInt64(&n.reordered, 1)
+			return
+		}
+	}
+
+	held := lf.held
+	lf.held = nil
+	lf.burst = 0
+	lf.mu.Unlock()
+
+	dup := !forced && uDup < n.plan.Dup
+	var delay time.Duration
+	if !forced && uDelay < n.plan.Delay && n.plan.MaxDelay > 0 {
+		delay = time.Duration(delayFrac * float64(n.plan.MaxDelay))
+	}
+	n.send(m, deliver, dup, delay)
+	// Releasing the held frame after the current one is what realizes the
+	// reordering: the earlier frame arrives later.
+	if held != nil {
+		n.send(held.m, held.deliver, false, 0)
+	}
+}
+
+func (n *Net) send(m mpi.Message, deliver func(mpi.Message), dup bool, delay time.Duration) {
+	do := func() {
+		deliver(m)
+		atomic.AddInt64(&n.delivered, 1)
+		if dup {
+			deliver(m)
+			atomic.AddInt64(&n.duplicated, 1)
+		}
+	}
+	if delay <= 0 {
+		do()
+		return
+	}
+	n.delayMu.Lock()
+	if n.stopped.Load() {
+		n.delayMu.Unlock()
+		do()
+		return
+	}
+	n.delays.Add(1)
+	n.delayMu.Unlock()
+	atomic.AddInt64(&n.delayed, 1)
+	go func() {
+		defer n.delays.Done()
+		time.Sleep(delay)
+		do()
+	}()
+}
+
+// Drain implements mpi.Drainer: it switches the Net to clean synchronous
+// delivery, flushes every held frame, and joins the delay goroutines. The
+// mpi runtime calls it after all ranks have returned.
+func (n *Net) Drain() {
+	n.delayMu.Lock()
+	n.stopped.Store(true)
+	n.delayMu.Unlock()
+	n.mu.Lock()
+	links := make([]*linkFaults, 0, len(n.links))
+	for _, lf := range n.links {
+		links = append(links, lf)
+	}
+	n.mu.Unlock()
+	for _, lf := range links {
+		lf.mu.Lock()
+		held := lf.held
+		lf.held = nil
+		lf.mu.Unlock()
+		if held != nil {
+			n.send(held.m, held.deliver, false, 0)
+		}
+	}
+	n.delays.Wait()
+}

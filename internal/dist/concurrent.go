@@ -66,7 +66,7 @@ func runConcurrent(pts []geom.Point, eps float64, minPts, p int, opts Options, a
 	// exactly one rank.
 	globalCore := make([]bool, n)
 
-	comm, err := mpi.Run(p, func(c *mpi.Comm) error {
+	comm, err := mpi.RunWithOptions(p, opts.mpiOptions(), func(c *mpi.Comm) error {
 		rank := c.Rank()
 		out := &outs[rank]
 
@@ -107,7 +107,7 @@ func runConcurrent(pts []geom.Point, eps float64, minPts, p int, opts Options, a
 			if src == rank {
 				continue
 			}
-			recs := decodeRecords(recv[src], dim)
+			recs := partition.DecodeRecords(recv[src], dim)
 			haloFrom[src] = len(recs)
 			for _, rec := range recs {
 				haloPts = append(haloPts, rec.Pt)
@@ -186,7 +186,7 @@ func runConcurrent(pts []geom.Point, eps float64, minPts, p int, opts Options, a
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return commFailure(err, st, comm)
 	}
 	st.Comm = comm
 

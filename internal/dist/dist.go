@@ -42,6 +42,8 @@
 package dist
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -84,6 +86,43 @@ type Options struct {
 	// Exec selects concurrent (default) or serial-simulation execution.
 	// Both produce identical clusterings; only timing methodology differs.
 	Exec Exec
+	// Transport overrides the in-process message transport (nil = perfect
+	// delivery). A transport that can lose or damage messages requires
+	// Hardened; see internal/chaos for the deterministic fault injector.
+	Transport mpi.Transport
+	// Hardened routes every point-to-point message through the mpi
+	// envelope/ack/retransmit protocol. The clustering is byte-identical
+	// with or without it; only resilience and overhead change.
+	Hardened bool
+	// Retry bounds the hardened retransmission loop (zero value = the mpi
+	// defaults). Its Budget() bounds how long a run with a dead rank can
+	// take to fail with ErrRankLost.
+	Retry mpi.RetryPolicy
+}
+
+// mpiOptions maps the communication-relevant options onto the runtime.
+func (o Options) mpiOptions() mpi.Options {
+	return mpi.Options{Transport: o.Transport, Hardened: o.Hardened, Retry: o.Retry}
+}
+
+// ErrRankLost is wrapped into the error returned when a rank exhausts the
+// hardened retry budget without acknowledgment — the graceful-degradation
+// signal that a simulated peer died. Test with errors.Is(err, ErrRankLost);
+// the accompanying partial *Stats still carry the communication counters up
+// to the failure.
+var ErrRankLost = errors.New("dist: rank lost")
+
+// commFailure converts an mpi-layer error into the package's typed failure:
+// rank loss wraps ErrRankLost and keeps the partial stats; anything else
+// passes through unchanged with no stats.
+func commFailure(err error, st *Stats, comm mpi.Stats) (*clustering.Result, *Stats, error) {
+	var rl *mpi.RankLostError
+	if errors.As(err, &rl) {
+		st.Comm = comm
+		return nil, st, fmt.Errorf("%w: rank %d unreachable after %d transmissions (declared by rank %d)",
+			ErrRankLost, rl.Rank, rl.Attempts, rl.From)
+	}
+	return nil, nil, err
 }
 
 // PhaseTimes reports, per phase, the maximum wall-clock time any rank spent
@@ -222,7 +261,7 @@ func runSerial(pts []geom.Point, eps float64, minPts, p int, opts Options, local
 	// Stage 1 (collective): partition + halo exchange.
 	rd := make([]*rankData, p)
 	var mu sync.Mutex
-	comm, err := mpi.Run(p, func(c *mpi.Comm) error {
+	comm, err := mpi.RunWithOptions(p, opts.mpiOptions(), func(c *mpi.Comm) error {
 		rank := c.Rank()
 		t0 := time.Now()
 		part, err := partition.KD(c, partition.Scatter(rank, p, pts), dim, opts.SampleSize, opts.Seed)
@@ -258,7 +297,7 @@ func runSerial(pts []geom.Point, eps float64, minPts, p int, opts Options, local
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return commFailure(err, st, comm)
 	}
 	st.Comm = comm
 
@@ -383,7 +422,7 @@ func haloSendBuffers(part *partition.Part, eps float64, dim, rank, p int) (bufs 
 				sentTo[dst] = append(sentTo[dst], int32(i))
 			}
 		}
-		bufs[dst] = encodeRecords(recs, dim)
+		bufs[dst] = partition.EncodeRecords(recs, dim)
 	}
 	return bufs, sentTo
 }
@@ -400,7 +439,7 @@ func haloExchangeTracked(c *mpi.Comm, part *partition.Part, eps float64, dim int
 		if src == c.Rank() {
 			continue
 		}
-		halo = append(halo, decodeRecords(recv[src], dim)...)
+		halo = append(halo, partition.DecodeRecords(recv[src], dim)...)
 	}
 	return halo, sentTo
 }
@@ -454,37 +493,4 @@ func deferredEdges(lr *core.LocalResult, gids []int64, exactCore []bool) [][2]in
 		}
 	}
 	return edges
-}
-
-// encodeRecords/decodeRecords mirror the partition package codec; kept here
-// to avoid exporting the wire format.
-func encodeRecords(recs []partition.Record, dim int) []byte {
-	ids := make([]int64, 1+len(recs))
-	ids[0] = int64(len(recs))
-	pts := make([]geom.Point, len(recs))
-	for i, r := range recs {
-		ids[1+i] = r.ID
-		pts[i] = r.Pt
-	}
-	return append(mpi.EncodeInt64s(ids), mpi.EncodePoints(pts, dim)...)
-}
-
-// decodeRecords unpacks a buffer produced by encodeRecords. A buffer whose
-// header does not match its length (negative count, or fewer id/coordinate
-// bytes than the count promises) decodes to nil rather than panicking.
-func decodeRecords(b []byte, dim int) []partition.Record {
-	if len(b) < 8 || dim <= 0 {
-		return nil
-	}
-	n := int(mpi.DecodeInt64s(b[:8])[0])
-	if n <= 0 || n > (len(b)-8)/(8*(1+dim)) {
-		return nil
-	}
-	ids := mpi.DecodeInt64s(b[8 : 8+8*n])
-	pts := mpi.DecodePoints(b[8+8*n:], dim)
-	recs := make([]partition.Record, n)
-	for i := range recs {
-		recs[i] = partition.Record{ID: ids[i], Pt: pts[i]}
-	}
-	return recs
 }

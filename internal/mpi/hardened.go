@@ -1,0 +1,253 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ackTag marks acknowledgment frames on the reverse link; it never reaches
+// an application mailbox.
+const ackTag = -1099
+
+// RetryPolicy bounds the hardened path's retransmission loop. The zero
+// value selects the defaults below.
+type RetryPolicy struct {
+	// BaseTimeout is the ack wait before the first retransmission; each
+	// subsequent wait doubles, capped at MaxTimeout.
+	BaseTimeout time.Duration
+	// MaxTimeout caps the exponential backoff.
+	MaxTimeout time.Duration
+	// MaxAttempts is the total number of transmissions (first send included)
+	// before the destination is declared lost.
+	MaxAttempts int
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.BaseTimeout <= 0 {
+		r.BaseTimeout = 2 * time.Millisecond
+	}
+	if r.MaxTimeout <= 0 {
+		r.MaxTimeout = 50 * time.Millisecond
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 12
+	}
+	return r
+}
+
+// Budget returns the maximum time one send can spend waiting for an ack
+// before its destination is declared lost: the sum of all backoff timeouts.
+// Callers use it to bound how long a permanently-lossy run may take to
+// surface RankLostError.
+func (r RetryPolicy) Budget() time.Duration {
+	r = r.withDefaults()
+	var total time.Duration
+	t := r.BaseTimeout
+	for i := 1; i < r.MaxAttempts; i++ {
+		total += t
+		t *= 2
+		if t > r.MaxTimeout {
+			t = r.MaxTimeout
+		}
+	}
+	return total + t
+}
+
+// RankLostError reports that a destination rank exhausted the sender's
+// retransmission budget without acknowledging a message. The world is
+// aborted when it is raised; Run returns it as the root cause.
+type RankLostError struct {
+	// Rank is the unresponsive destination.
+	Rank int
+	// From is the sender that declared it lost.
+	From int
+	// Attempts is the number of unacknowledged transmissions.
+	Attempts int
+}
+
+func (e *RankLostError) Error() string {
+	return fmt.Sprintf("mpi: rank %d declared lost by rank %d after %d unacknowledged transmissions", e.Rank, e.From, e.Attempts)
+}
+
+// linkState is the per-directed-link protocol state of the hardened path,
+// indexed like the mailboxes (dst*size+src). The sender side assigns
+// sequence numbers and tracks unacked frames; the receiver side reassembles
+// the per-link FIFO order and drops duplicates.
+type linkState struct {
+	mu       sync.Mutex
+	nextSeq  uint64
+	pending  map[uint64]chan struct{}
+	expected uint64
+	buffered map[uint64]message
+}
+
+func newLinks(p int) []*linkState {
+	links := make([]*linkState, p*p)
+	for i := range links {
+		links[i] = &linkState{
+			pending:  make(map[uint64]chan struct{}),
+			buffered: make(map[uint64]message),
+		}
+	}
+	return links
+}
+
+func (w *world) link(src, dst int) *linkState { return w.links[dst*w.size+src] }
+
+// mailboxPut inserts a verified in-order message into dst's mailbox from
+// src. Unlike the trusting path's blocking send it must not panic: it runs
+// on transport and retransmit goroutines with no rank recover above them.
+// An abort unblocks it so stray deliveries cannot wedge teardown.
+func (w *world) mailboxPut(src, dst int, m message) {
+	select {
+	case w.chans[dst*w.size+src] <- m:
+	case <-w.abort:
+	}
+}
+
+// deliverData pushes one envelope frame toward dst through the configured
+// transport (or directly when none is set).
+func (w *world) deliverData(src, dst int, m Message) {
+	if w.transport != nil {
+		w.transport.Deliver(src, dst, m, func(mm Message) { w.receiveEnvelope(src, dst, mm) })
+		return
+	}
+	w.receiveEnvelope(src, dst, m)
+}
+
+// startHardenedSend frames data, transmits it, and returns a Request that
+// completes when the destination acknowledges the frame. On a clean network
+// the ack arrives inline (the delivery callback runs on this goroutine) and
+// no retransmit goroutine is ever spawned — that is the entire overhead of
+// the hardened path when nothing goes wrong. Otherwise a background loop
+// retransmits with exponential backoff until the ack lands or the retry
+// budget declares dst lost, which aborts the world with RankLostError.
+func (w *world) startHardenedSend(src, dst, tag int, data []byte) *Request {
+	lk := w.link(src, dst)
+	lk.mu.Lock()
+	seq := lk.nextSeq
+	lk.nextSeq++
+	ackCh := make(chan struct{})
+	lk.pending[seq] = ackCh
+	lk.mu.Unlock()
+
+	env := EncodeEnvelope(seq, tag, data)
+	atomic.AddInt64(&w.envelopeBytes, envHeaderLen)
+	w.deliverData(src, dst, Message{Tag: tag, Data: env})
+	select {
+	case <-ackCh:
+		return completed(nil)
+	default:
+	}
+	r := &Request{done: make(chan struct{})}
+	w.inflight.Add(1)
+	go w.retransmitLoop(r, src, dst, seq, tag, env, ackCh)
+	return r
+}
+
+func (w *world) retransmitLoop(r *Request, src, dst int, seq uint64, tag int, env []byte, ackCh chan struct{}) {
+	defer w.inflight.Done()
+	defer close(r.done)
+	timeout := w.retry.BaseTimeout
+	for attempt := 1; ; attempt++ {
+		timer := time.NewTimer(timeout)
+		select {
+		case <-ackCh:
+			timer.Stop()
+			return
+		case <-w.abort:
+			timer.Stop()
+			r.err = errAbort{cause: "peer failure"}
+			return
+		case <-timer.C:
+		}
+		atomic.AddInt64(&w.timeouts, 1)
+		if attempt >= w.retry.MaxAttempts {
+			err := &RankLostError{Rank: dst, From: src, Attempts: attempt}
+			r.err = err
+			w.doAbort(err)
+			return
+		}
+		atomic.AddInt64(&w.retransmits, 1)
+		w.deliverData(src, dst, Message{Tag: tag, Data: env})
+		timeout *= 2
+		if timeout > w.retry.MaxTimeout {
+			timeout = w.retry.MaxTimeout
+		}
+	}
+}
+
+// receiveEnvelope is the hardened receive boundary for the src→dst link: it
+// validates the frame, acknowledges every structurally valid one (including
+// duplicates — the original ack may have been lost), drops corrupt frames
+// and duplicates, buffers out-of-order arrivals, and releases the in-order
+// prefix into the real mailbox. It runs on whatever goroutine the transport
+// delivers from, which is what keeps acks flowing while both endpoint ranks
+// are themselves blocked sending (the all-to-all pattern).
+func (w *world) receiveEnvelope(src, dst int, m Message) {
+	seq, tag, payload, ok := DecodeEnvelope(m.Data)
+	if !ok {
+		atomic.AddInt64(&w.corruptDropped, 1)
+		return
+	}
+	lk := w.link(src, dst)
+	lk.mu.Lock()
+	switch {
+	case seq < lk.expected:
+		atomic.AddInt64(&w.dupDropped, 1)
+	default:
+		if _, dup := lk.buffered[seq]; dup {
+			atomic.AddInt64(&w.dupDropped, 1)
+			break
+		}
+		lk.buffered[seq] = message{tag: tag, data: payload}
+		for {
+			next, have := lk.buffered[lk.expected]
+			if !have {
+				break
+			}
+			delete(lk.buffered, lk.expected)
+			lk.expected++
+			w.mailboxPut(src, dst, next)
+		}
+	}
+	lk.mu.Unlock()
+	w.sendAck(src, dst, seq)
+}
+
+// sendAck acknowledges seq on the src→dst link by sending a frame back
+// along dst→src. Acks cross the same transport as data, so a fault plan can
+// drop or corrupt them; the sender's retransmission covers both directions.
+func (w *world) sendAck(src, dst int, seq uint64) {
+	buf := EncodeAck(seq)
+	atomic.AddInt64(&w.envelopeBytes, ackFrameLen)
+	m := Message{Tag: ackTag, Data: buf}
+	if w.transport != nil {
+		w.transport.Deliver(dst, src, m, func(mm Message) { w.receiveAck(src, dst, mm) })
+		return
+	}
+	w.receiveAck(src, dst, m)
+}
+
+// receiveAck resolves a pending send on the src→dst link. Unknown sequence
+// numbers (already acked, or the frame was corrupted into a different valid
+// ack — impossible with CRC32-C at these sizes, but harmless) are ignored.
+func (w *world) receiveAck(src, dst int, m Message) {
+	seq, ok := DecodeAck(m.Data)
+	if !ok {
+		atomic.AddInt64(&w.corruptDropped, 1)
+		return
+	}
+	lk := w.link(src, dst)
+	lk.mu.Lock()
+	ch, pending := lk.pending[seq]
+	if pending {
+		delete(lk.pending, seq)
+	}
+	lk.mu.Unlock()
+	if pending {
+		close(ch)
+	}
+}

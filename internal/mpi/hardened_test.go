@@ -1,0 +1,248 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps fault tests quick without risking spurious rank loss.
+var fastRetry = RetryPolicy{BaseTimeout: time.Millisecond, MaxTimeout: 10 * time.Millisecond, MaxAttempts: 12}
+
+// ringExchange is the workload the hardened tests run: a tagged ring
+// send/recv followed by an all-to-all, verifying every payload.
+func ringExchange(c *Comm) error {
+	p := c.Size()
+	rank := c.Rank()
+	next, prev := (rank+1)%p, (rank+p-1)%p
+	if p > 1 {
+		c.Send(next, 5, EncodeInt64s([]int64{int64(rank)}))
+		got := DecodeInt64s(c.Recv(prev, 5))[0]
+		if got != int64(prev) {
+			return fmt.Errorf("rank %d: ring got %d want %d", rank, got, prev)
+		}
+	}
+	send := make([][]byte, p)
+	for dst := range send {
+		send[dst] = EncodeInt64s([]int64{int64(rank*100 + dst)})
+	}
+	recv := c.Alltoall(send)
+	for src := range recv {
+		if got := DecodeInt64s(recv[src])[0]; got != int64(src*100+rank) {
+			return fmt.Errorf("rank %d: alltoall from %d got %d", rank, src, got)
+		}
+	}
+	return nil
+}
+
+func TestHardenedCleanNetwork(t *testing.T) {
+	st, err := RunWithOptions(4, Options{Hardened: true, Retry: fastRetry}, ringExchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retransmits != 0 || st.Timeouts != 0 || st.CorruptDropped != 0 || st.DupDropped != 0 {
+		t.Fatalf("clean network should not trip reliability counters: %+v", st)
+	}
+	if st.EnvelopeBytes == 0 {
+		t.Fatal("hardened path must account envelope overhead")
+	}
+}
+
+func TestHardenedPerfectTransportIsDirect(t *testing.T) {
+	st, err := RunWithOptions(4, Options{Transport: PerfectTransport{}}, ringExchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EnvelopeBytes != 0 {
+		t.Fatal("trusting path over PerfectTransport must not frame messages")
+	}
+}
+
+// onceDropTransport drops the first appearance of every distinct frame and
+// delivers all later appearances — including retransmissions with identical
+// bytes, and re-sent acks. Every frame therefore needs one retransmission.
+type onceDropTransport struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func (tr *onceDropTransport) Deliver(from, to int, m Message, deliver func(Message)) {
+	key := fmt.Sprintf("%d>%d:%x", from, to, m.Data)
+	tr.mu.Lock()
+	dropped := !tr.seen[key]
+	tr.seen[key] = true
+	tr.mu.Unlock()
+	if !dropped {
+		deliver(m)
+	}
+}
+
+func TestHardenedSurvivesDrops(t *testing.T) {
+	tr := &onceDropTransport{seen: map[string]bool{}}
+	st, err := RunWithOptions(4, Options{Transport: tr, Hardened: true, Retry: fastRetry}, ringExchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("every frame was dropped once; retransmissions must have occurred")
+	}
+}
+
+// dupTransport delivers every frame twice.
+type dupTransport struct{}
+
+func (dupTransport) Deliver(from, to int, m Message, deliver func(Message)) {
+	deliver(m)
+	deliver(m)
+}
+
+func TestHardenedDropsDuplicates(t *testing.T) {
+	st, err := RunWithOptions(4, Options{Transport: dupTransport{}, Hardened: true, Retry: fastRetry}, ringExchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DupDropped == 0 {
+		t.Fatal("duplicated frames must be detected and dropped")
+	}
+}
+
+// corruptOnceTransport delivers a bit-flipped copy on the first appearance
+// of every frame, then the clean frame on later appearances.
+type corruptOnceTransport struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func (tr *corruptOnceTransport) Deliver(from, to int, m Message, deliver func(Message)) {
+	key := fmt.Sprintf("%d>%d:%x", from, to, m.Data)
+	tr.mu.Lock()
+	first := !tr.seen[key]
+	tr.seen[key] = true
+	tr.mu.Unlock()
+	if first && len(m.Data) > 0 {
+		cp := append([]byte(nil), m.Data...)
+		cp[len(cp)/2] ^= 0x10
+		deliver(Message{Tag: m.Tag, Data: cp})
+		return
+	}
+	deliver(m)
+}
+
+func TestHardenedDetectsCorruption(t *testing.T) {
+	tr := &corruptOnceTransport{seen: map[string]bool{}}
+	st, err := RunWithOptions(4, Options{Transport: tr, Hardened: true, Retry: fastRetry}, ringExchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CorruptDropped == 0 {
+		t.Fatal("bit-flipped frames must be rejected by checksum")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("rejected frames must be retransmitted")
+	}
+}
+
+// holdOneTransport holds back one frame per directed link and releases it
+// after the next frame on that link is delivered — guaranteed out-of-order
+// arrival for back-to-back sends.
+type holdOneTransport struct {
+	mu   sync.Mutex
+	held map[[2]int]func()
+}
+
+func (tr *holdOneTransport) Deliver(from, to int, m Message, deliver func(Message)) {
+	k := [2]int{from, to}
+	tr.mu.Lock()
+	if tr.held[k] == nil {
+		mm := m
+		tr.held[k] = func() { deliver(mm) }
+		tr.mu.Unlock()
+		return
+	}
+	release := tr.held[k]
+	delete(tr.held, k)
+	tr.mu.Unlock()
+	deliver(m)
+	release()
+}
+
+func (tr *holdOneTransport) Drain() {
+	tr.mu.Lock()
+	for k, release := range tr.held {
+		delete(tr.held, k)
+		release()
+	}
+	tr.mu.Unlock()
+}
+
+func TestHardenedRestoresFIFOOrder(t *testing.T) {
+	// Two back-to-back Isends per link arrive swapped on the wire; sequence
+	// numbers must restore send order, which the tag check observes. On the
+	// trusting path this exact run would panic with a tag mismatch.
+	tr := &holdOneTransport{held: map[[2]int]func(){}}
+	_, err := RunWithOptions(2, Options{Transport: tr, Hardened: true, Retry: fastRetry}, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		c.Isend(peer, 1, []byte("first"))
+		c.Isend(peer, 2, []byte("second"))
+		if got := string(c.Recv(peer, 1)); got != "first" {
+			return fmt.Errorf("rank %d: got %q", c.Rank(), got)
+		}
+		if got := string(c.Recv(peer, 2)); got != "second" {
+			return fmt.Errorf("rank %d: got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blackHoleTransport silently discards every frame on the given directed
+// links (both data and acks) and delivers everything else.
+type blackHoleTransport struct{ dead map[[2]int]bool }
+
+func (tr blackHoleTransport) Deliver(from, to int, m Message, deliver func(Message)) {
+	if !tr.dead[[2]int{from, to}] {
+		deliver(m)
+	}
+}
+
+func TestHardenedRankLost(t *testing.T) {
+	retry := RetryPolicy{BaseTimeout: time.Millisecond, MaxTimeout: 4 * time.Millisecond, MaxAttempts: 5}
+	tr := blackHoleTransport{dead: map[[2]int]bool{{0, 1}: true}}
+	start := time.Now()
+	_, err := RunWithOptions(2, Options{Transport: tr, Hardened: true, Retry: retry}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []byte("into the void"))
+			c.Recv(1, 4)
+		} else {
+			c.Recv(0, 3)
+			c.Send(0, 4, []byte("reply"))
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	var rl *RankLostError
+	if !errors.As(err, &rl) {
+		t.Fatalf("want RankLostError, got %v", err)
+	}
+	if rl.Rank != 1 {
+		t.Fatalf("lost rank should be 1, got %d", rl.Rank)
+	}
+	if budget := retry.Budget() + 2*time.Second; elapsed > budget {
+		t.Fatalf("rank loss took %v, beyond budget %v", elapsed, budget)
+	}
+}
+
+func TestRetryPolicyBudget(t *testing.T) {
+	r := RetryPolicy{BaseTimeout: time.Millisecond, MaxTimeout: 4 * time.Millisecond, MaxAttempts: 5}
+	// Waits: 1 + 2 + 4 + 4 + 4 ms.
+	if got, want := r.Budget(), 15*time.Millisecond; got != want {
+		t.Fatalf("Budget() = %v, want %v", got, want)
+	}
+	if (RetryPolicy{}).Budget() <= 0 {
+		t.Fatal("default budget must be positive")
+	}
+}

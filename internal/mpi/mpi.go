@@ -14,6 +14,21 @@
 // All ranks must execute the same sequence of collective calls (standard
 // SPMD discipline). If any rank panics, the whole world is aborted and
 // Run returns an error instead of deadlocking.
+//
+// # Transport seam and the hardened path
+//
+// Point-to-point traffic crosses a pluggable Transport (RunWithOptions).
+// The default is direct in-process delivery — bit-identical to the runtime
+// before the seam existed. With Options.Hardened every send is framed in a
+// sequence-numbered, CRC32-C-checksummed envelope, acknowledged by the
+// receiver, deduplicated and reassembled into per-link FIFO order, and
+// retransmitted with bounded exponential backoff; a destination that never
+// acks within the retry budget aborts the world with RankLostError. This is
+// what lets a fault-injecting transport (internal/chaos) drop, duplicate,
+// reorder, delay and corrupt messages without changing any clustering built
+// on top. Collectives built on the shared slot array (Barrier, Bcast,
+// Allgather) are control-plane shared memory and are not routed through the
+// transport; all record/halo/flag payloads go point-to-point.
 package mpi
 
 import (
@@ -29,6 +44,23 @@ type Stats struct {
 	BytesSent []int64
 	// MsgsSent[r] counts messages rank r sent.
 	MsgsSent []int64
+	// The remaining counters are hardened-path reliability accounting; all
+	// stay zero on the trusting path.
+	//
+	// Retransmits counts envelope retransmissions after an ack timeout.
+	Retransmits int64
+	// Timeouts counts ack waits that expired (each retransmission is
+	// preceded by one, and the final budget-exhausting wait adds one more).
+	Timeouts int64
+	// CorruptDropped counts received frames rejected by the envelope or ack
+	// checksum.
+	CorruptDropped int64
+	// DupDropped counts structurally valid envelopes discarded as
+	// duplicates (re-acked, not re-delivered).
+	DupDropped int64
+	// EnvelopeBytes counts protocol overhead bytes — envelope headers plus
+	// ack frames — that the payload-only BytesSent accounting excludes.
+	EnvelopeBytes int64
 }
 
 // TotalBytes returns the total bytes sent across all ranks.
@@ -60,11 +92,24 @@ type world struct {
 	cause     atomic.Value
 	bytes     []int64
 	msgs      []int64
+
+	// transport is the delivery seam; nil means direct in-process delivery.
+	transport Transport
+	// hardened enables the envelope/ack/retransmit protocol (hardened.go).
+	hardened bool
+	retry    RetryPolicy
+	links    []*linkState
+	// inflight tracks retransmit goroutines so Run can quiesce them before
+	// the final stats snapshot.
+	inflight                                                         sync.WaitGroup
+	retransmits, timeouts, corruptDropped, dupDropped, envelopeBytes int64
 }
 
 func (w *world) doAbort(cause any) {
 	w.abortOnce.Do(func() {
-		w.cause.Store(fmt.Sprintf("%v", cause))
+		// Store the original value (not its string) so typed causes like
+		// *RankLostError survive to Run's error selection.
+		w.cause.Store(cause)
 		close(w.abort)
 	})
 }
@@ -108,10 +153,30 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.w.size }
 
+// Options configures RunWithOptions; the zero value reproduces Run.
+type Options struct {
+	// Transport overrides physical delivery of point-to-point messages.
+	// Nil (or PerfectTransport) selects the direct in-process path.
+	Transport Transport
+	// Hardened routes every point-to-point message through the envelope/
+	// ack/retransmit protocol. Required for any transport that can damage
+	// or lose messages; usable without a transport to measure the protocol's
+	// overhead on a clean network.
+	Hardened bool
+	// Retry bounds the hardened retransmission loop (zero value = defaults).
+	Retry RetryPolicy
+}
+
 // Run executes fn on p ranks and blocks until all complete. Each rank's
 // panic aborts the world; the first failure is returned as an error. The
 // returned Stats report per-rank communication volumes.
 func Run(p int, fn func(c *Comm) error) (Stats, error) {
+	return RunWithOptions(p, Options{}, fn)
+}
+
+// RunWithOptions is Run with an explicit transport and reliability
+// configuration. With the zero Options it is Run, on the same code paths.
+func RunWithOptions(p int, opts Options, fn func(c *Comm) error) (Stats, error) {
 	if p < 1 {
 		return Stats{}, fmt.Errorf("mpi: need at least 1 rank, got %d", p)
 	}
@@ -122,6 +187,14 @@ func Run(p int, fn func(c *Comm) error) (Stats, error) {
 		abort: make(chan struct{}),
 		bytes: make([]int64, p),
 		msgs:  make([]int64, p),
+	}
+	if _, perfect := opts.Transport.(PerfectTransport); opts.Transport != nil && !perfect {
+		w.transport = opts.Transport
+	}
+	if opts.Hardened {
+		w.hardened = true
+		w.retry = opts.Retry.withDefaults()
+		w.links = newLinks(p)
 	}
 	for i := range w.chans {
 		w.chans[i] = make(chan message, 1024)
@@ -136,9 +209,13 @@ func Run(p int, fn func(c *Comm) error) (Stats, error) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if ea, ok := rec.(errAbort); ok {
-						errs[rank] = ea
-					} else {
+					switch v := rec.(type) {
+					case errAbort:
+						errs[rank] = v
+					case *RankLostError:
+						errs[rank] = v
+						w.doAbort(v)
+					default:
 						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
 						w.doAbort(rec)
 					}
@@ -151,12 +228,31 @@ func Run(p int, fn func(c *Comm) error) (Stats, error) {
 		}(r)
 	}
 	wg.Wait()
-	st := Stats{BytesSent: w.bytes, MsgsSent: w.msgs}
+	// Quiesce before the stats snapshot: flush anything a transport still
+	// holds (delayed deliveries), then join the retransmit goroutines those
+	// deliveries unblock.
+	if d, ok := w.transport.(Drainer); ok {
+		d.Drain()
+	}
+	w.inflight.Wait()
+	st := w.statsSnapshot()
 	// Report the root cause first: prefer a non-abort error.
 	for _, err := range errs {
 		if err != nil {
 			if _, isAbort := err.(errAbort); !isAbort {
 				return st, err
+			}
+		}
+	}
+	// Every rank saw only the abort: surface the stored root cause when it
+	// is a typed error, e.g. a RankLostError raised on a retransmit
+	// goroutine that no rank observed directly.
+	if c, ok := w.cause.Load().(error); ok {
+		if _, isAbort := c.(errAbort); !isAbort {
+			for _, err := range errs {
+				if err != nil {
+					return st, c
+				}
 			}
 		}
 	}
@@ -168,6 +264,25 @@ func Run(p int, fn func(c *Comm) error) (Stats, error) {
 	return st, nil
 }
 
+// statsSnapshot copies the counters into fresh storage with atomic loads,
+// so the returned Stats are safe to read however the world was torn down.
+func (w *world) statsSnapshot() Stats {
+	st := Stats{
+		BytesSent:      make([]int64, w.size),
+		MsgsSent:       make([]int64, w.size),
+		Retransmits:    atomic.LoadInt64(&w.retransmits),
+		Timeouts:       atomic.LoadInt64(&w.timeouts),
+		CorruptDropped: atomic.LoadInt64(&w.corruptDropped),
+		DupDropped:     atomic.LoadInt64(&w.dupDropped),
+		EnvelopeBytes:  atomic.LoadInt64(&w.envelopeBytes),
+	}
+	for i := 0; i < w.size; i++ {
+		st.BytesSent[i] = atomic.LoadInt64(&w.bytes[i])
+		st.MsgsSent[i] = atomic.LoadInt64(&w.msgs[i])
+	}
+	return st
+}
+
 func (c *Comm) account(bytes int) {
 	atomic.AddInt64(&c.w.bytes[c.rank], int64(bytes))
 	atomic.AddInt64(&c.w.msgs[c.rank], 1)
@@ -176,15 +291,30 @@ func (c *Comm) account(bytes int) {
 // Send delivers data to rank dst with the given tag. The payload is not
 // copied; senders must not mutate it afterwards (as with MPI buffers in
 // flight). Blocks only if the destination's channel buffer is full.
+//
+// On the hardened path Send is fire-and-forget at the protocol level: the
+// envelope goes out immediately and any retransmission continues in the
+// background; an exhausted retry budget aborts the world with RankLostError
+// rather than failing the call.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	c.account(len(data))
-	select {
-	case c.w.chans[dst*c.w.size+c.rank] <- message{tag: tag, data: data}:
-	case <-c.w.abort:
-		panic(errAbort{cause: "peer failure"})
+	w := c.w
+	switch {
+	case w.hardened:
+		w.startHardenedSend(c.rank, dst, tag, data)
+	case w.transport != nil:
+		w.transport.Deliver(c.rank, dst, Message{Tag: tag, Data: data}, func(m Message) {
+			w.mailboxPut(c.rank, dst, message{tag: m.Tag, data: m.Data})
+		})
+	default:
+		select {
+		case w.chans[dst*w.size+c.rank] <- message{tag: tag, data: data}:
+		case <-w.abort:
+			panic(errAbort{cause: "peer failure"})
+		}
 	}
 }
 

@@ -43,11 +43,25 @@ func completed(data []byte) *Request {
 // via Wait) before the next one is posted. Posting two Isends to the same
 // destination back-to-back without waiting may reorder them when the first
 // had to park on a full mailbox. The collectives built here never do that.
+// The hardened path has no such caveat: sequence numbers restore per-link
+// send order at the receiver, and Wait additionally reports the
+// destination's acknowledgment rather than mere mailbox insertion.
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("mpi: isend to invalid rank %d", dst))
 	}
 	c.account(len(data))
+	if c.w.hardened {
+		return c.w.startHardenedSend(c.rank, dst, tag, data)
+	}
+	if c.w.transport != nil {
+		// Trusting mode over an explicit transport: delivery is whatever the
+		// transport does; completion means the attempt was handed over.
+		c.w.transport.Deliver(c.rank, dst, Message{Tag: tag, Data: data}, func(m Message) {
+			c.w.mailboxPut(c.rank, dst, message{tag: m.Tag, data: m.Data})
+		})
+		return completed(nil)
+	}
 	ch := c.w.chans[dst*c.w.size+c.rank]
 	m := message{tag: tag, data: data}
 	select {

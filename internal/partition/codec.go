@@ -5,8 +5,11 @@ import (
 	"mudbscan/internal/mpi"
 )
 
-// encodeRecords packs records as [count][ids...][coords...].
-func encodeRecords(recs []Record, dim int) []byte {
+// EncodeRecords packs records as [count][ids...][coords...]. It is the one
+// wire format for point records everywhere in the repository — the
+// partition rounds, the halo exchange, and the dist drivers all share it,
+// so a header change cannot diverge between packages.
+func EncodeRecords(recs []Record, dim int) []byte {
 	ids := make([]int64, 1+len(recs))
 	ids[0] = int64(len(recs))
 	pts := make([]geom.Point, len(recs))
@@ -19,10 +22,10 @@ func encodeRecords(recs []Record, dim int) []byte {
 	return append(head, body...)
 }
 
-// decodeRecords unpacks a buffer produced by encodeRecords. A buffer whose
+// DecodeRecords unpacks a buffer produced by EncodeRecords. A buffer whose
 // header does not match its length (negative count, or fewer id/coordinate
 // bytes than the count promises) decodes to nil rather than panicking.
-func decodeRecords(b []byte, dim int) []Record {
+func DecodeRecords(b []byte, dim int) []Record {
 	if len(b) < 8 || dim <= 0 {
 		return nil
 	}

@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mpi"
+)
+
+// TestRecordCodecBitExact pins bit-preservation for payloads the simple
+// round-trip test does not cover: negative zero and denormal-range values
+// must survive encode/decode with identical IEEE-754 bits.
+func TestRecordCodecBitExact(t *testing.T) {
+	recs := []Record{
+		{ID: -9, Pt: geom.Point{1.5, -2.25, 3.125}},
+		{ID: 1 << 40, Pt: geom.Point{math.Copysign(0, -1), 1e300, -1e-300}},
+	}
+	enc := EncodeRecords(recs, 3)
+	got := DecodeRecords(enc, 3)
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].ID != recs[i].ID || !bytes.Equal(mpi.EncodePoints([]geom.Point{got[i].Pt}, 3), mpi.EncodePoints([]geom.Point{recs[i].Pt}, 3)) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRecordCodecEmpty(t *testing.T) {
+	enc := EncodeRecords(nil, 2)
+	if got := DecodeRecords(enc, 2); got != nil {
+		t.Fatalf("empty buffer should decode to nil, got %v", got)
+	}
+}
+
+// TestRecordCodecHardening pins the defensive behaviour the dist drivers
+// rely on: malformed buffers decode to nil, never panic, never over-read.
+func TestRecordCodecHardening(t *testing.T) {
+	valid := EncodeRecords([]Record{{ID: 1, Pt: geom.Point{1, 2}}, {ID: 2, Pt: geom.Point{3, 4}}}, 2)
+	cases := map[string][]byte{
+		"nil":            nil,
+		"short header":   valid[:4],
+		"truncated body": valid[:len(valid)-8],
+		"negative count": append(mpi.EncodeInt64s([]int64{-1}), valid[8:]...),
+		"count too big":  append(mpi.EncodeInt64s([]int64{1 << 40}), valid[8:]...),
+	}
+	for name, b := range cases {
+		if got := DecodeRecords(b, 2); got != nil {
+			t.Fatalf("%s: want nil, got %d records", name, len(got))
+		}
+	}
+	if DecodeRecords(valid, 0) != nil {
+		t.Fatal("dim=0 must decode to nil")
+	}
+	if len(DecodeRecords(valid, 2)) != 2 {
+		t.Fatal("valid buffer rejected")
+	}
+}

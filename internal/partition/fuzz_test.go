@@ -16,20 +16,20 @@ import (
 // included).
 func FuzzDecodeRecords(f *testing.F) {
 	f.Add([]byte{}, byte(1))
-	f.Add(encodeRecords([]Record{{ID: 7, Pt: geom.Point{1, 2}}, {ID: -3, Pt: geom.Point{0.5, -0.5}}}, 2), byte(1))
-	f.Add(mpi.EncodeInt64s([]int64{-5}), byte(0))                  // negative count
-	f.Add(mpi.EncodeInt64s([]int64{1 << 40}), byte(2))             // count far beyond buffer
-	f.Add(append(mpi.EncodeInt64s([]int64{2}), 1, 2, 3), byte(0))  // truncated body
+	f.Add(EncodeRecords([]Record{{ID: 7, Pt: geom.Point{1, 2}}, {ID: -3, Pt: geom.Point{0.5, -0.5}}}, 2), byte(1))
+	f.Add(mpi.EncodeInt64s([]int64{-5}), byte(0))                 // negative count
+	f.Add(mpi.EncodeInt64s([]int64{1 << 40}), byte(2))            // count far beyond buffer
+	f.Add(append(mpi.EncodeInt64s([]int64{2}), 1, 2, 3), byte(0)) // truncated body
 	f.Fuzz(func(t *testing.T, b []byte, dimByte byte) {
 		dim := int(dimByte)%8 + 1
-		recs := decodeRecords(b, dim)
+		recs := DecodeRecords(b, dim)
 		for i, r := range recs {
 			if len(r.Pt) != dim {
 				t.Fatalf("record %d has %d coords, want %d", i, len(r.Pt), dim)
 			}
 		}
-		enc := encodeRecords(recs, dim)
-		if again := encodeRecords(decodeRecords(enc, dim), dim); !bytes.Equal(again, enc) {
+		enc := EncodeRecords(recs, dim)
+		if again := EncodeRecords(DecodeRecords(enc, dim), dim); !bytes.Equal(again, enc) {
 			t.Fatalf("canonical form not a fixed point: %x vs %x", again, enc)
 		}
 	})

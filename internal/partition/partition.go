@@ -124,8 +124,8 @@ func KD(c *mpi.Comm, local []Record, dim, sampleSize int, seed int64) (*Part, er
 		if !lower {
 			partner = c.Rank() - half
 		}
-		c.Send(partner, group, encodeRecords(send, dim))
-		received := decodeRecords(c.Recv(partner, group), dim)
+		c.Send(partner, group, EncodeRecords(send, dim))
+		received := DecodeRecords(c.Recv(partner, group), dim)
 		local = append(keep, received...)
 
 		// 4) Region refinement.
@@ -166,7 +166,7 @@ func HaloExchange(c *mpi.Comm, part *Part, eps float64, dim int) []Record {
 	}
 	bufs := make([][]byte, p)
 	for dst := range bufs {
-		bufs[dst] = encodeRecords(send[dst], dim)
+		bufs[dst] = EncodeRecords(send[dst], dim)
 	}
 	recv := c.Alltoall(bufs)
 	var halo []Record
@@ -174,7 +174,7 @@ func HaloExchange(c *mpi.Comm, part *Part, eps float64, dim int) []Record {
 		if src == c.Rank() {
 			continue
 		}
-		halo = append(halo, decodeRecords(b, dim)...)
+		halo = append(halo, DecodeRecords(b, dim)...)
 	}
 	return halo
 }

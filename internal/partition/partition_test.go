@@ -238,7 +238,7 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 		for i := range recs {
 			recs[i] = Record{ID: int64(i * 1000), Pt: geom.Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}}
 		}
-		got := decodeRecords(encodeRecords(recs, 3), 3)
+		got := DecodeRecords(EncodeRecords(recs, 3), 3)
 		if len(got) != n {
 			t.Fatalf("n=%d: decoded %d", n, len(got))
 		}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDampedWeightDecayExact pins the damped window's decay law: without
+// absorptions an MC's weight between two observation times t1 < t2 shrinks
+// by exactly exp(-λ(t2-t1)) — strictly monotone, never rejuvenated by a
+// snapshot or by traffic to other micro-clusters.
+func TestDampedWeightDecayExact(t *testing.T) {
+	const lambda = 0.25
+	c, err := New(2, 0.5, 5, Options{Lambda: lambda, MaintenanceEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten points at t=1..10 into one MC near the origin.
+	for i := 1; i <= 10; i++ {
+		if err := c.AddAt([]float64{0.01 * float64(i%3), 0}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	weightAt := func(tm float64) float64 {
+		// Advance time via a far-away point (its own MC), then snapshot:
+		// Snapshot decays every MC to the current time.
+		if err := c.AddAt([]float64{100, 100}, tm); err != nil {
+			t.Fatal(err)
+		}
+		s := c.Snapshot()
+		for i := range s.MCs {
+			if s.MCs[i].Center[0] < 50 {
+				return s.MCs[i].Weight
+			}
+		}
+		t.Fatal("origin MC disappeared")
+		return 0
+	}
+	times := []float64{12, 15, 20, 33, 70}
+	weights := make([]float64, len(times))
+	for i, tm := range times {
+		weights[i] = weightAt(tm)
+	}
+	for i := 1; i < len(times); i++ {
+		if weights[i] >= weights[i-1] {
+			t.Fatalf("weight rose from %g to %g without absorptions", weights[i-1], weights[i])
+		}
+		want := weights[i-1] * math.Exp(-lambda*(times[i]-times[i-1]))
+		if rel := math.Abs(weights[i]-want) / want; rel > 1e-9 {
+			t.Fatalf("t=%g: weight %g, want %g (decay law violated, rel err %g)",
+				times[i], weights[i], want, rel)
+		}
+	}
+}
+
+// TestDampedDecayNeverIncreasesAnyMC sweeps a random damped stream and
+// asserts the global invariant behind pruning: between consecutive
+// snapshots, every surviving MC that absorbed nothing has a strictly
+// smaller weight.
+func TestDampedDecayNeverIncreasesAnyMC(t *testing.T) {
+	c, err := New(2, 0.5, 5, Options{Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	prev := map[int]MC{}
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			p := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+			if err := c.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := c.Snapshot()
+		for _, m := range s.MCs {
+			if old, ok := prev[m.ID]; ok && m.LastUpdate == old.LastUpdate && m.Weight > old.Weight {
+				// Same LastUpdate after decay-to-now means no absorption in
+				// between (absorption stamps a newer time) — weight may not grow.
+				t.Fatalf("MC %d grew from %g to %g without absorbing", m.ID, old.Weight, m.Weight)
+			}
+			prev[m.ID] = m
+		}
+	}
+}
+
+// TestLandmarkSnapshotInterleavingIrrelevant pins that Snapshot is a pure
+// observation in the landmark window: a clusterer snapshotted after every
+// few insertions ends bit-identical — micro-clusters, labels, cluster count
+// — to one that only ever snapshots at the end.
+func TestLandmarkSnapshotInterleavingIrrelevant(t *testing.T) {
+	mk := func() (*Clusterer, *rand.Rand) {
+		c, err := New(3, 0.6, 6, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, rand.New(rand.NewSource(12))
+	}
+	quiet, qrng := mk()
+	noisy, nrng := mk()
+	for i := 0; i < 2000; i++ {
+		p := []float64{qrng.NormFloat64(), qrng.NormFloat64(), qrng.NormFloat64()}
+		q := []float64{nrng.NormFloat64(), nrng.NormFloat64(), nrng.NormFloat64()}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("rng streams diverged")
+		}
+		if err := quiet.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := noisy.Add(q); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			noisy.Snapshot() // observation only; must not perturb state
+		}
+	}
+	a, b := quiet.Snapshot(), noisy.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("interleaved snapshots changed the final snapshot:\nquiet %+v\nnoisy %+v", a, b)
+	}
+}
+
+// TestDampedSnapshotInterleavingKeepsClustering is the damped-window analogue:
+// interleaved snapshots apply decay in more, smaller steps, so weights may
+// differ in the last bits, but the clustering itself — MC ids, labels,
+// cluster count — must be unaffected, and weights must agree to a tight
+// relative tolerance.
+func TestDampedSnapshotInterleavingKeepsClustering(t *testing.T) {
+	mk := func(snapEvery int) *Snapshot {
+		c, err := New(2, 0.5, 6, Options{Lambda: 0.01, MaintenanceEvery: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 1500; i++ {
+			p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			if err := c.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			if snapEvery > 0 && i%snapEvery == 0 {
+				c.Snapshot()
+			}
+		}
+		return c.Snapshot()
+	}
+	a, b := mk(0), mk(113)
+	if a.NumClusters != b.NumClusters || len(a.MCs) != len(b.MCs) {
+		t.Fatalf("clustering shape differs: %d/%d clusters, %d/%d MCs",
+			a.NumClusters, b.NumClusters, len(a.MCs), len(b.MCs))
+	}
+	for i := range a.MCs {
+		if a.MCs[i].ID != b.MCs[i].ID || a.Labels[i] != b.Labels[i] {
+			t.Fatalf("MC %d: id/label drifted under interleaved snapshots", i)
+		}
+		if w0, w1 := a.MCs[i].Weight, b.MCs[i].Weight; math.Abs(w0-w1) > 1e-9*math.Max(w0, 1) {
+			t.Fatalf("MC %d: weight drifted %g vs %g", i, w0, w1)
+		}
+	}
+}

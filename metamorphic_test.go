@@ -113,6 +113,112 @@ func TestDuplicatedDatasetDoublesDensity(t *testing.T) {
 	}
 }
 
+// runMode dispatches one of the three execution modes so each metamorphic
+// relation can be asserted against every mode, not just the sequential one.
+func runMode(t *testing.T, mode string, rows [][]float64, eps float64, minPts int) *Result {
+	t.Helper()
+	var (
+		r   *Result
+		err error
+	)
+	switch mode {
+	case "seq":
+		r, err = Cluster(rows, eps, minPts)
+	case "parallel":
+		r, _, err = ClusterParallel(rows, eps, minPts, WithWorkers(4))
+	case "dist":
+		r, _, err = ClusterDistributed(rows, eps, minPts, 4, WithSeed(5))
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", mode, err)
+	}
+	return r
+}
+
+var allModes = []string{"seq", "parallel", "dist"}
+
+// TestCombinedTranslationScalingAllModes composes the two rigid relations:
+// shifting and scaling by a power of two (lossless in floating point) with
+// ε scaled alongside must leave every mode's clustering unchanged.
+func TestCombinedTranslationScalingAllModes(t *testing.T) {
+	rows := toRows(data.Blobs(700, 3, 4, 0.3, 0.2, 37))
+	eps, minPts := 0.5, 5
+	base, err := Cluster(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s = 16.0
+	moved := transform(rows, s, []float64{-512, 1024, 0.25})
+	for _, mode := range allModes {
+		got := runMode(t, mode, moved, eps*s, minPts)
+		if err := clustering.Equivalent(base, got); err != nil {
+			t.Fatalf("%s: translation+scaling changed the clustering: %v", mode, err)
+		}
+	}
+}
+
+// TestPointDuplicationAllModes extends the densification relation to every
+// mode: appending an exact copy of each point may only promote points, and
+// twin copies must agree on core status — also across the rank partitioning
+// of the distributed mode, where twins can land on different ranks.
+func TestPointDuplicationAllModes(t *testing.T) {
+	rows := toRows(data.Blobs(300, 2, 3, 0.3, 0.3, 41))
+	eps, minPts := 0.5, 5
+	doubled := append(append([][]float64{}, rows...), rows...)
+	for _, mode := range allModes {
+		base := runMode(t, mode, rows, eps, minPts)
+		got := runMode(t, mode, doubled, eps, minPts)
+		for i := range rows {
+			if base.Core[i] && !got.Core[i] {
+				t.Fatalf("%s: point %d lost core status after densification", mode, i)
+			}
+			if base.Labels[i] != clustering.Noise && got.Labels[i] == clustering.Noise {
+				t.Fatalf("%s: point %d fell to noise after densification", mode, i)
+			}
+			if got.Core[i] != got.Core[i+len(rows)] {
+				t.Fatalf("%s: point %d and its twin disagree on core status", mode, i)
+			}
+			if got.Core[i] && got.Labels[i] != got.Labels[i+len(rows)] {
+				t.Fatalf("%s: core point %d and its twin landed in different clusters", mode, i)
+			}
+		}
+	}
+}
+
+// TestInputPermutationInvarianceAllModes feeds every mode the same points in
+// a shuffled order: after mapping labels back through the permutation the
+// clustering must be equivalent to the unshuffled run. This pins that no
+// mode's output depends on point order beyond DBSCAN's permitted border
+// ambiguity (which Equivalent accounts for).
+func TestInputPermutationInvarianceAllModes(t *testing.T) {
+	rows := toRows(data.Blobs(600, 3, 3, 0.3, 0.2, 43))
+	eps, minPts := 0.5, 5
+	rng := rand.New(rand.NewSource(99))
+	perm := rng.Perm(len(rows))
+	shuffled := make([][]float64, len(rows))
+	for i, j := range perm {
+		shuffled[j] = rows[i]
+	}
+	for _, mode := range allModes {
+		base := runMode(t, mode, rows, eps, minPts)
+		got := runMode(t, mode, shuffled, eps, minPts)
+		unshuffled := &Result{
+			Labels:      make([]int, len(rows)),
+			Core:        make([]bool, len(rows)),
+			NumClusters: got.NumClusters,
+		}
+		for i, j := range perm {
+			unshuffled.Labels[i] = got.Labels[j]
+			unshuffled.Core[i] = got.Core[j]
+		}
+		if err := clustering.Equivalent(base, unshuffled); err != nil {
+			t.Fatalf("%s: input permutation changed the clustering: %v", mode, err)
+		}
+	}
+}
+
 func TestDistributedMatchesSequentialOnTransformedData(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	rows := toRows(data.Blobs(700, 3, 4, 0.3, 0.2, 31))

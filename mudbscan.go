@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"mudbscan/internal/chaos"
 	"mudbscan/internal/clustering"
 	"mudbscan/internal/core"
 	"mudbscan/internal/dist"
@@ -66,6 +67,8 @@ type config struct {
 	sampleSize  int
 	seed        int64
 	distSerial  bool
+	hardened    bool
+	faultSeed   *int64
 }
 
 // Option customizes a clustering run.
@@ -97,6 +100,24 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // concurrent rank execution. The clustering is identical either way; only
 // the timing statistics' meaning changes (see DistStats.WallClock).
 func WithSerialSimulation() Option { return func(c *config) { c.distSerial = true } }
+
+// WithHardenedComms makes ClusterDistributed wrap every point-to-point
+// message in a sequence-numbered, checksummed envelope with ack/retransmit
+// and duplicate suppression. The clustering is byte-identical to the default
+// trusting transport; the run additionally tolerates message loss,
+// duplication, reordering, and corruption, and terminates with an error
+// wrapping dist.ErrRankLost instead of hanging when a rank becomes
+// permanently unreachable.
+func WithHardenedComms() Option { return func(c *config) { c.hardened = true } }
+
+// WithFaultInjection routes ClusterDistributed's messages through a
+// deterministic fault-injecting network (drops, duplicates, reordering,
+// delays, and bit corruption, reproducible from the seed) and implies
+// WithHardenedComms. The clustering remains exact — this knob exists for
+// testing and for demonstrating the reliability layer.
+func WithFaultInjection(seed int64) Option {
+	return func(c *config) { c.hardened = true; c.faultSeed = &seed }
+}
 
 // validate checks the inputs shared by all entry points and converts the
 // point rows into the internal representation without copying coordinates.
@@ -191,10 +212,15 @@ func ClusterDistributed(points [][]float64, eps float64, minPts, ranks int, opts
 	if cfg.distSerial {
 		exec = dist.ExecSerial
 	}
-	return dist.MuDBSCAND(pts, eps, minPts, ranks, dist.Options{
+	dopts := dist.Options{
 		SampleSize: cfg.sampleSize,
 		Seed:       cfg.seed,
 		Core:       core.Options{Fanout: cfg.fanout, DisableWndq: cfg.disableWndq},
 		Exec:       exec,
-	})
+		Hardened:   cfg.hardened,
+	}
+	if cfg.faultSeed != nil {
+		dopts.Transport = chaos.New(chaos.Eventual(*cfg.faultSeed))
+	}
+	return dist.MuDBSCAND(pts, eps, minPts, ranks, dopts)
 }

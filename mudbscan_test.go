@@ -82,6 +82,41 @@ func TestAllModesAgree(t *testing.T) {
 
 func equiv(a, b *Result) error { return clustering.Equivalent(a, b) }
 
+func TestFaultToleranceOptions(t *testing.T) {
+	pts := data.Blobs(600, 2, 3, 0.25, 0.15, 11)
+	rows := toRows(pts)
+	eps, minPts := 0.5, 5
+
+	plain, _, err := ClusterDistributed(rows, eps, minPts, 4, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, hst, err := ClusterDistributed(rows, eps, minPts, 4, WithSeed(7), WithHardenedComms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hst.Comm.EnvelopeBytes == 0 {
+		t.Fatal("hardened run must account envelope overhead")
+	}
+	chaosRun, cst, err := ClusterDistributed(rows, eps, minPts, 4, WithSeed(7), WithFaultInjection(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.Comm.Retransmits == 0 && cst.Comm.DupDropped == 0 && cst.Comm.CorruptDropped == 0 {
+		t.Fatalf("fault injection produced no observable faults: %+v", cst.Comm)
+	}
+	for _, r := range []*Result{hard, chaosRun} {
+		if err := equiv(plain, r); err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain.Labels {
+			if plain.Labels[i] != r.Labels[i] || plain.Core[i] != r.Core[i] {
+				t.Fatalf("point %d differs from the trusting run", i)
+			}
+		}
+	}
+}
+
 func TestOptionsApply(t *testing.T) {
 	pts := data.Blobs(800, 2, 3, 0.2, 0.1, 3)
 	rows := toRows(pts)
