@@ -1,0 +1,272 @@
+// Package analysis is mulint's analyzer framework: a stdlib-only
+// (go/parser, go/ast, go/types, go/importer — no x/tools) driver that loads
+// every package in the module, type-checks it, and runs an invariant catalog
+// over the typed syntax. The catalog turns the repo's implicit house rules —
+// deterministic output, allocation-free hot paths, inline transport
+// delivery, checked codec errors — into machine-checked ones, so a
+// violation fails CI on every code path instead of only the inputs the
+// dynamic gates (-race, AllocsPerRun, conformance sweeps) happen to run.
+//
+// Diagnostics can be suppressed one line at a time with
+//
+//	//mulint:allow <rule> <reason>
+//
+// placed on the offending line or alone on the line above it. The rule must
+// match the diagnostic (either the full "analyzer/check" form or the bare
+// analyzer name) and the reason is mandatory: an allow without a
+// justification is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by position and rule.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string // "analyzer/check", e.g. "determinism/maprange"
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Msg)
+}
+
+// Analyzer is one invariant checker. Run is invoked once per loaded package
+// and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) invocation context.
+type Pass struct {
+	Prog     *Program
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos under rule "analyzer/check".
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  p.Prog.Fset.Position(pos),
+		Rule: p.analyzer.Name + "/" + check,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full invariant catalog in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		NoallocAnalyzer,
+		ConcurrencyAnalyzer,
+		ErrcheckAnalyzer,
+	}
+}
+
+// Run executes the analyzers over every package of prog, applies
+// //mulint:allow suppressions, and returns the surviving diagnostics sorted
+// by position.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			a.Run(&Pass{Prog: prog, Pkg: pkg, analyzer: a, diags: &diags})
+		}
+	}
+	diags = applyAllows(prog, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// allow is one parsed //mulint:allow comment.
+type allow struct {
+	file   string
+	line   int // the line the allow applies to
+	rule   string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// applyAllows drops diagnostics matched by an allow comment and appends
+// diagnostics for malformed or unused allows, so stale escape hatches cannot
+// silently accumulate.
+func applyAllows(prog *Program, diags []Diagnostic) []Diagnostic {
+	var allows []*allow
+	var meta []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//mulint:allow")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						meta = append(meta, Diagnostic{Pos: pos, Rule: "mulint/allow",
+							Msg: "malformed //mulint:allow: want \"//mulint:allow <rule> <reason>\""})
+						continue
+					}
+					target := pos.Line
+					if startsLine(prog.Fset, pkg, c) {
+						// The comment owns its line; it shields the next one.
+						target = pos.Line + 1
+					}
+					allows = append(allows, &allow{
+						file: pos.Filename, line: target, rule: fields[0],
+						reason: strings.Join(fields[1:], " "), pos: pos,
+					})
+				}
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.file == d.Pos.Filename && a.line == d.Pos.Line && ruleMatches(a.rule, d.Rule) {
+				a.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		if !a.used {
+			meta = append(meta, Diagnostic{Pos: a.pos, Rule: "mulint/allow",
+				Msg: fmt.Sprintf("unused //mulint:allow %s: no %s diagnostic on line %d", a.rule, a.rule, a.line)})
+		}
+	}
+	return append(kept, meta...)
+}
+
+// ruleMatches reports whether the allow's rule names the diagnostic: either
+// the full "analyzer/check" form or the bare analyzer name.
+func ruleMatches(allowRule, diagRule string) bool {
+	if allowRule == diagRule {
+		return true
+	}
+	analyzer, _, _ := strings.Cut(diagRule, "/")
+	return allowRule == analyzer
+}
+
+// startsLine reports whether comment c is the first token on its line.
+func startsLine(fset *token.FileSet, pkg *Package, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	for _, f := range pkg.Files {
+		tf := fset.File(f.Pos())
+		if tf == nil || tf.Name() != pos.Filename {
+			continue
+		}
+		// The comment starts its line iff nothing but whitespace precedes
+		// it; approximate by comparing against the line start offset plus
+		// leading column — a comment at column 1..N with only tabs/spaces
+		// before it. We only have positions, so treat "column equals the
+		// first non-blank" as: no AST token of f begins earlier on the line.
+		first := true
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !first {
+				return false
+			}
+			p := fset.Position(n.Pos())
+			if p.Filename == pos.Filename && p.Line == pos.Line && p.Column < pos.Column {
+				first = false
+			}
+			return first
+		})
+		return first
+	}
+	return true
+}
+
+// rootIdent walks selector/index/slice/paren/star expressions down to the
+// base identifier, e.g. rootIdent(s.bufs[w][:0]) == s. Returns nil when the
+// base is not a plain identifier (a call result, composite literal, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for calls through function-typed values, type conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := objOf(info, fn).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if f, ok := objOf(info, fn.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name (matched by full import path or, for testdata fixtures, by
+// package base name).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgName, fnName string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Name() != fnName {
+		return false
+	}
+	return f.Pkg().Name() == pkgName
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Function annotations recognized in doc comments:
+//
+//	//mulint:noalloc — the body must be allocation-free (noalloc analyzer)
+//	//mulint:inline  — no go statement may be reachable (concurrency analyzer)
+//
+// The marker must be its own comment line in the function's doc block;
+// trailing prose after the marker is allowed and encouraged (the repo pairs
+// each //mulint:noalloc with a pointer to its AllocsPerRun gate).
+const (
+	MarkerNoalloc = "//mulint:noalloc"
+	MarkerInline  = "//mulint:inline"
+)
+
+// hasMarker reports whether fd's doc comment carries the given marker.
+func hasMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// annotatedFuncs returns every function declaration in pkg carrying marker.
+func annotatedFuncs(pkg *Package, marker string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasMarker(fd, marker) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the repo's exactness discipline: every mode
+// must emit byte-identical clusterings, so no observable value may depend on
+// Go's randomized map iteration order or on wall-clock/global-RNG state.
+//
+// Checks:
+//
+//	determinism/maprange — a `range` over a map whose body (a) appends to a
+//	    slice declared outside the loop without the result being sorted
+//	    afterwards in the same block, (b) writes output (fmt print family or
+//	    Write* methods), (c) accumulates into a floating-point variable
+//	    (addition rounding depends on order), or (d) assigns ids/labels
+//	    derived from a variable mutated inside the loop (the fresh-label
+//	    pattern).
+//	determinism/time — time.Now in an algorithm package.
+//	determinism/rand — the global math/rand source in an algorithm package.
+//
+// Algorithm packages are the ones whose output feeds the clustering:
+// geom, mc, core, shared, dist, unionfind, rtree, kdtree, partition.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags map-iteration-order leaks, wall-clock reads and global RNG use",
+	Run:  runDeterminism,
+}
+
+// algorithmPkgs are matched by package name so the golden fixtures (which
+// live outside the module) exercise the same predicate as the real tree.
+var algorithmPkgs = map[string]bool{
+	"geom": true, "mc": true, "core": true, "shared": true, "dist": true,
+	"unionfind": true, "rtree": true, "kdtree": true, "partition": true,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	inAlgo := algorithmPkgs[pass.Pkg.Pkg.Name()]
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						checkMapRange(pass, f, n)
+					}
+				}
+			case *ast.CallExpr:
+				if !inAlgo {
+					return true
+				}
+				if isPkgCall(info, n, "time", "Now") {
+					pass.Reportf(n.Pos(), "time", "time.Now in algorithm package %s: wall-clock state must not reach clustering output", pass.Pkg.Pkg.Name())
+				}
+				if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "math/rand" && globalRandFuncs[fn.Name()] &&
+					fn.Type().(*types.Signature).Recv() == nil { // methods on a seeded *rand.Rand are the fix, not the bug
+
+					pass.Reportf(n.Pos(), "rand", "global math/rand.%s in algorithm package %s: use a seeded *rand.Rand", fn.Name(), pass.Pkg.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared, unseedable-per-run global source. rand.New/rand.NewSource (the
+// seeded construction path) are deliberately absent.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+// checkMapRange inspects one map-range body for iteration-order leaks.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+
+	// Variables declared inside the loop body carry no cross-iteration
+	// state; only writes to outer objects can leak iteration order.
+	outer := func(id *ast.Ident) bool {
+		obj := objOf(info, id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return false
+		}
+		return obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()
+	}
+
+	// Pass 1: outer containers receiving index writes inside the body —
+	// their len/cap is cross-iteration state.
+	indexAssigned := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if base := rootIdent(ix.X); base != nil && outer(base) {
+					indexAssigned[objOf(info, base)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: the set of objects carrying iteration-order-dependent state —
+	// running counters (x++, x += ..., x = x+1) and values read off the
+	// growing size of a container written in the loop (l = len(remap)). The
+	// fresh-label pattern assigns these into output containers.
+	mutated := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && outer(id) {
+				mutated[objOf(info, id)] = true
+			}
+		case *ast.AssignStmt:
+			selfRef := func(i int, obj types.Object) bool {
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true // compound assignment always reads the LHS
+				}
+				if i >= len(n.Rhs) {
+					return false
+				}
+				found := false
+				ast.Inspect(n.Rhs[i], func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						o := objOf(info, id)
+						if o == obj || (o != nil && indexAssigned[o]) || mutated[o] {
+							found = true
+						}
+					}
+					return !found
+				})
+				return found
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil {
+					continue
+				}
+				if selfRef(i, obj) {
+					mutated[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if dst := appendDest(info, n); dst != nil && outer(dst) && !sortedAfter(pass, file, rng, objOf(info, dst)) {
+				pass.Reportf(n.Pos(), "maprange", "append to %s inside map iteration: element order follows the randomized map order (sort afterwards or iterate sorted keys)", dst.Name)
+			}
+			if isOutputCall(info, n) {
+				pass.Reportf(n.Pos(), "maprange", "output written inside map iteration: row order follows the randomized map order")
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, n, outer, mutated)
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && outer(id) && isFloat(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "maprange", "floating-point accumulation into %s inside map iteration: rounding depends on the randomized map order", id.Name)
+			}
+		}
+		return true
+	})
+
+	checkFirstMatch(pass, rng, outer)
+}
+
+// checkFirstMatch flags the first-match-wins pattern: the body assigns the
+// range key or value (or something derived from them) to an outer variable
+// and then breaks out of the loop, so whichever entry the randomized
+// iteration happens to visit first is selected. A bare found=true + break is
+// order-independent and not flagged.
+func checkFirstMatch(pass *Pass, rng *ast.RangeStmt, outer func(*ast.Ident) bool) {
+	info := pass.Pkg.Info
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(info, id); obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	if len(rangeVars) == 0 {
+		return
+	}
+	hasBreak := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK && n.(*ast.BranchStmt).Label == nil {
+				hasBreak = true
+			}
+			return true
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if n != ast.Node(rng) {
+				return false // a nested break would not exit our loop
+			}
+		}
+		return true
+	})
+	if !hasBreak {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || !outer(id) || i >= len(as.Rhs) {
+				continue
+			}
+			usesRange := false
+			ast.Inspect(as.Rhs[i], func(m ast.Node) bool {
+				if rid, ok := m.(*ast.Ident); ok && rangeVars[objOf(info, rid)] {
+					usesRange = true
+				}
+				return !usesRange
+			})
+			if usesRange {
+				pass.Reportf(as.Pos(), "maprange", "%s is assigned from the range variables and the loop breaks on first match: the selected entry follows the randomized map order", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags order-dependent assignments inside a map-range
+// body: float accumulation, and container writes whose value derives from a
+// variable mutated in the loop.
+func checkMapRangeAssign(pass *Pass, n *ast.AssignStmt, outer func(*ast.Ident) bool, mutated map[types.Object]bool) {
+	info := pass.Pkg.Info
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Keyed accumulation (out[k] += v with k the range key) touches each
+		// key once and is order-independent; only a plain scalar accumulator
+		// sees every iteration and bakes the order into its rounding.
+		for _, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if ok && outer(id) && isFloat(info.TypeOf(lhs)) {
+				pass.Reportf(n.Pos(), "maprange", "floating-point accumulation into %s inside map iteration: rounding depends on the randomized map order", id.Name)
+			}
+		}
+	case token.ASSIGN:
+		for i, lhs := range n.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			base := rootIdent(ix.X)
+			if base == nil || !outer(base) || i >= len(n.Rhs) {
+				continue
+			}
+			usesMutated := false
+			ast.Inspect(n.Rhs[i], func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && mutated[objOf(info, id)] {
+					usesMutated = true
+				}
+				return !usesMutated
+			})
+			if usesMutated {
+				pass.Reportf(n.Pos(), "maprange", "%s is assigned a value derived from loop-mutated state inside map iteration: ids/labels will follow the randomized map order", base.Name)
+			}
+		}
+	}
+}
+
+// appendDest returns the destination's root identifier when call is
+// append(dst, ...), else nil.
+func appendDest(info *types.Info, call *ast.CallExpr) *ast.Ident {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := objOf(info, id).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return rootIdent(call.Args[0])
+}
+
+// isOutputCall reports whether call writes user-visible output: the fmt
+// print family, or a Write*/Print* method on some value (io.Writer,
+// tabwriter, strings.Builder — anything stream-shaped).
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+		return false
+	}
+	if _, isMethod := info.Selections[sel]; !isMethod {
+		return false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Println", "Printf":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether, in the statements following rng inside the
+// enclosing block, obj is passed to a sort.*/slices.Sort* call — the
+// "collect then sort" idiom that restores determinism.
+func sortedAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		idx := -1
+		for i, st := range block.List {
+			if st == ast.Stmt(rng) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return true
+		}
+		for _, st := range block.List[idx+1:] {
+			ast.Inspect(st, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					argRoot := rootIdent(arg)
+					if argRoot != nil && objOf(info, argRoot) == obj {
+						found = true
+					}
+					// sort.Sort(byLen(keys)): the slice hides one
+					// conversion down.
+					ast.Inspect(arg, func(k ast.Node) bool {
+						if id, ok := k.(*ast.Ident); ok && objOf(info, id) == obj {
+							found = true
+						}
+						return !found
+					})
+				}
+				return !found
+			})
+			if found {
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden suites: each testdata package triggers every check of one
+// analyzer, with `// want <regex>` comments on the offending lines. A
+// diagnostic without a matching want, or a want without a diagnostic, fails
+// the test — so the suites pin both the positives and the false-positive
+// boundary (the clean idioms in the fixtures must stay silent).
+
+func TestGoldenDeterminism(t *testing.T) { runGolden(t, "determinism", DeterminismAnalyzer) }
+func TestGoldenNoalloc(t *testing.T)     { runGolden(t, "noalloc", NoallocAnalyzer) }
+func TestGoldenConcurrency(t *testing.T) { runGolden(t, "concurrency", ConcurrencyAnalyzer) }
+func TestGoldenErrcheck(t *testing.T)    { runGolden(t, "errcheck", ErrcheckAnalyzer) }
+
+// TestAllowSuppressesExactlyOne proves the escape hatch's precision: two
+// identical violations on consecutive lines with an allow on the first must
+// yield exactly one diagnostic, on the second line.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "allow"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := Run(prog, []*Analyzer{DeterminismAnalyzer})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 surviving the allow:\n%s", len(diags), renderDiags(diags))
+	}
+	d := diags[0]
+	if d.Rule != "determinism/time" {
+		t.Errorf("surviving diagnostic has rule %q, want determinism/time", d.Rule)
+	}
+	// The suppressed violation is on the line directly above the survivor.
+	runGolden(t, "allow", DeterminismAnalyzer)
+}
+
+// TestAllowHygiene proves that the escape hatch polices itself: a bare allow
+// is malformed and an allow whose rule never fires is unused, each a
+// mulint/allow diagnostic; the well-formed allow still suppresses its target.
+func TestAllowHygiene(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "allowmeta"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := Run(prog, []*Analyzer{DeterminismAnalyzer})
+	var malformed, unused int
+	for _, d := range diags {
+		switch {
+		case d.Rule != "mulint/allow":
+			t.Errorf("unexpected non-meta diagnostic: %s", d)
+		case strings.Contains(d.Msg, "malformed"):
+			malformed++
+		case strings.Contains(d.Msg, "unused"):
+			unused++
+		}
+	}
+	if malformed != 1 || unused != 1 {
+		t.Errorf("got %d malformed + %d unused allow diagnostics, want 1 + 1:\n%s",
+			malformed, unused, renderDiags(diags))
+	}
+}
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type wantExp struct {
+	re   *regexp.Regexp
+	file string
+	line int
+	used bool
+}
+
+// runGolden loads testdata/<dir>, runs the analyzer, and reconciles the
+// diagnostics against the fixture's // want comments one-to-one.
+func runGolden(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	prog, err := LoadDir(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	diags := Run(prog, []*Analyzer{a})
+
+	var wants []*wantExp
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					ms := wantArgRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s: // want comment with no quoted pattern", pos)
+					}
+					for _, m := range ms {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &wantExp{re: re, file: pos.Filename, line: pos.Line})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Rule+" "+d.Msg) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %v", w.file, w.line, w.re)
+		}
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  ")
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

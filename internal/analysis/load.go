@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("mudbscan/internal/geom")
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole loaded module plus lazily built whole-program facts.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // module packages, sorted by import path
+	ByPath   map[string]*Package
+
+	// funcDecls maps every package-level function/method object in the
+	// program to its declaration, for cross-package call-graph walks.
+	funcDecls map[*types.Func]*ast.FuncDecl
+}
+
+// loader resolves module-internal import paths by type-checking source
+// under the module root, and delegates everything else (the stdlib) to the
+// compiler's source importer. Both sides are memoized.
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	module  string // module path from go.mod
+	std     types.ImporterFrom
+	loaded  map[string]*Package
+	loading map[string]bool
+}
+
+// LoadModule locates the enclosing module of dir (walking up to go.mod) and
+// loads and type-checks every package in it, excluding _test.go files and
+// testdata directories.
+func LoadModule(dir string) (*Program, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: fset, ByPath: map[string]*Package{}}
+	for _, d := range dirs {
+		path := module
+		if rel, _ := filepath.Rel(root, d); rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // directory with no buildable non-test files
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[path] = pkg
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	prog.buildFuncDecls()
+	return prog, nil
+}
+
+// LoadDir type-checks the single package in dir (plus its stdlib imports)
+// and returns it as a one-package Program. The golden-diagnostic test
+// fixtures load through this: each testdata directory is one self-contained
+// package outside the module proper.
+func LoadDir(dir string) (*Program, error) {
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    dir,
+		module:  "testfixture",
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	pkg, err := l.load("testfixture")
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	prog := &Program{Fset: fset, Packages: []*Package{pkg}, ByPath: map[string]*Package{pkg.Path: pkg}}
+	prog.buildFuncDecls()
+	return prog, nil
+}
+
+// Import implements types.Importer by routing module paths to source
+// type-checking and everything else to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import %q: no buildable Go files", path)
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		l.loaded[path] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file of dir with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Deterministic file order regardless of ReadDir's (already sorted, but
+	// make the invariant explicit — mulint holds itself to its own rules).
+	sort.Slice(files, func(i, j int) bool {
+		return fset.File(files[i].Pos()).Name() < fset.File(files[j].Pos()).Name()
+	})
+	return files, nil
+}
+
+// packageDirs walks the module collecting directories that may hold a
+// package, skipping testdata, VCS and tool directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// findModule walks up from dir to the first go.mod and returns the module
+// root and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// buildFuncDecls indexes every function/method declaration in the program.
+func (p *Program) buildFuncDecls() {
+	p.funcDecls = map[*types.Func]*ast.FuncDecl{}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcDecls[fn] = fd
+				}
+			}
+		}
+	}
+}
+
+// FuncDecl returns the declaration of fn when it belongs to a loaded module
+// package.
+func (p *Program) FuncDecl(fn *types.Func) (*ast.FuncDecl, bool) {
+	fd, ok := p.funcDecls[fn]
+	return fd, ok
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoallocAnalyzer enforces the //mulint:noalloc annotation: the body of an
+// annotated function must be free of heap-allocating constructs. The repo's
+// AllocsPerRun gates prove zero allocations on the inputs the tests run;
+// this pass proves the absence of allocating syntax on every path, and the
+// two are cross-linked in the annotations so they cannot drift apart.
+//
+// Flagged inside an annotated body (check noalloc/alloc):
+//
+//	make/new, composite literals, string concatenation, function literals
+//	(closure allocation), interface conversions (boxing), and append to a
+//	slice the function does not own. Owned destinations are the function's
+//	parameters, named results and receiver state (including fields and
+//	elements reached through them): their capacity is caller-managed, which
+//	is precisely the *Into contract — append warms the caller's buffer and
+//	is allocation-free in steady state.
+//
+// Intentional cold-path allocations (buffer warm-up, error paths) are
+// documented per line with //mulint:allow noalloc <reason>.
+var NoallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbids allocating constructs in //mulint:noalloc functions",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	for _, fd := range annotatedFuncs(pass.Pkg, MarkerNoalloc) {
+		if fd.Body == nil {
+			continue
+		}
+		checkNoalloc(pass, fd)
+	}
+}
+
+func checkNoalloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	owned := ownedObjects(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := objOf(info, id).(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						pass.Reportf(n.Pos(), "alloc", "make in //mulint:noalloc function %s", fd.Name.Name)
+					case "new":
+						pass.Reportf(n.Pos(), "alloc", "new in //mulint:noalloc function %s", fd.Name.Name)
+					case "append":
+						if dst := appendDest(info, n); dst == nil || !owned[objOf(info, dst)] {
+							name := "a non-owned slice"
+							if dst != nil {
+								name = dst.Name
+							}
+							pass.Reportf(n.Pos(), "alloc", "append to %s in //mulint:noalloc function %s: only parameter/receiver-owned destinations have caller-managed capacity", name, fd.Name.Name)
+						}
+					}
+				}
+			}
+			checkInterfaceArgs(pass, fd, n)
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "alloc", "composite literal in //mulint:noalloc function %s", fd.Name.Name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "alloc", "function literal in //mulint:noalloc function %s: closures allocate", fd.Name.Name)
+			return false // don't double-report the closure's own body
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "alloc", "string concatenation in //mulint:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					checkInterfaceConv(pass, fd, info.TypeOf(lhs), n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			results := fd.Type.Results
+			if results == nil || len(n.Results) != len(resultTypes(info, results)) {
+				return true
+			}
+			for i, r := range n.Results {
+				checkInterfaceConv(pass, fd, resultTypes(info, results)[i], r)
+			}
+		}
+		return true
+	})
+}
+
+// ownedObjects collects the objects whose backing storage the caller
+// manages: parameters, named results, and the receiver. Appending through
+// these does not allocate once the caller's buffer has warmed.
+func ownedObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	add(fd.Type.Results)
+	return owned
+}
+
+// resultTypes flattens a result field list into one type per result value.
+func resultTypes(info *types.Info, fl *ast.FieldList) []types.Type {
+	var out []types.Type
+	for _, f := range fl.List {
+		t := info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// checkInterfaceArgs flags concrete values passed as interface parameters —
+// the boxing allocates unless the value is pointer-shaped and escapes
+// analysis-friendly, which a noalloc function must not gamble on.
+func checkInterfaceArgs(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkInterfaceConv(pass, fd, pt, arg)
+	}
+}
+
+// checkInterfaceConv flags a concrete (non-interface, non-nil) value placed
+// into an interface-typed slot.
+func checkInterfaceConv(pass *Pass, fd *ast.FuncDecl, dst types.Type, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	if !types.IsInterface(dst) {
+		return
+	}
+	st := info.TypeOf(src)
+	if st == nil || types.IsInterface(st) {
+		return
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(src.Pos(), "alloc", "interface conversion in //mulint:noalloc function %s: boxing %s into %s may allocate", fd.Name.Name, st, dst)
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

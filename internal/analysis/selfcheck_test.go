@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestMulintSelfCheck runs the full invariant catalog over the repo itself
+// and requires a clean bill: every real violation has been fixed or carries a
+// justified //mulint:allow. This is the same gate CI runs via cmd/mulint; it
+// lives here too so `go test ./...` catches a regression without the extra
+// CI step, and so the analyzers are continuously exercised against a
+// full-size module, not only the fixtures.
+func TestMulintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped with -short")
+	}
+	prog, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(prog.Packages) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(prog.Packages))
+	}
+	diags := Run(prog, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

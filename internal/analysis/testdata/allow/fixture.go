@@ -1,0 +1,18 @@
+// Package core is the allow-suppression fixture: two identical violations on
+// consecutive lines, an allow on exactly one of them. The allow must remove
+// that single diagnostic and nothing else, and a bare analyzer name must
+// match any of its checks.
+package core
+
+import "time"
+
+func stamps() (int64, int64) {
+	a := time.Now().UnixNano() //mulint:allow determinism/time fixture: this line is deliberately suppressed
+	b := time.Now().UnixNano() // want `time.Now in algorithm package core`
+	return a, b
+}
+
+func stampBare() int64 {
+	c := time.Now().UnixNano() //mulint:allow determinism a bare analyzer name matches every one of its checks
+	return c
+}

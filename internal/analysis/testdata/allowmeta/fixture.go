@@ -1,0 +1,15 @@
+// Package core is the allow-hygiene fixture: a bare allow with no rule is
+// malformed, and an allow whose rule never fires on its target line is
+// unused. Both must surface as mulint/allow diagnostics so stale escape
+// hatches cannot rot silently.
+package core
+
+import "time"
+
+func stale() int64 {
+	v := int64(0)
+	_ = v //mulint:allow
+	//mulint:allow determinism/rand nothing random happens on the next line
+	v = time.Now().UnixNano() //mulint:allow determinism/time fixture timing
+	return v
+}

@@ -1,0 +1,58 @@
+// Package fixture is a golden fixture for the concurrency analyzer: a go
+// statement reachable two hops below a //mulint:inline function, and every
+// by-value lock-copy shape.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// spawnHelper hides the goroutine two static calls below the annotation.
+func spawnHelper() {
+	go func() {}()
+}
+
+func relay() { spawnHelper() }
+
+//mulint:inline fixture: delivery must complete on the calling goroutine
+func deliver(g *guarded) { // want `//mulint:inline function deliver can reach a go statement via deliver → relay → spawnHelper`
+	g.mu.Lock()
+	relay()
+	g.mu.Unlock()
+}
+
+//mulint:inline fixture: the clean path spawns nothing anywhere below
+func deliverClean(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func byValueParam(g guarded) { // want `parameter of byValueParam receives .*guarded by value`
+	_ = g.n
+}
+
+func (g guarded) valueReceiver() {} // want `receiver of valueReceiver receives .*guarded by value`
+
+func copies(ap *guarded, gs []guarded) int {
+	b := *ap // want `assignment copies .*guarded by value`
+	b.n++
+	sum := 0
+	for _, g := range gs { // want `range copies .*guarded by value per element`
+		sum += g.n
+	}
+	byValueParam(*ap) // want `call passes .*guarded by value`
+	return sum
+}
+
+// pointers and index access through pointers never copy the lock.
+func clean(ap *guarded, gs []*guarded) int {
+	sum := ap.n
+	for _, g := range gs {
+		sum += g.n
+	}
+	return sum
+}

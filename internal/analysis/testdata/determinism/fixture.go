@@ -1,0 +1,105 @@
+// Package core is a golden fixture for the determinism analyzer. It is named
+// after a real algorithm package so the package-name predicate (time/rand
+// checks fire only in algorithm packages) is exercised exactly as in the
+// real tree. Each flagged line carries a want regex; clean idioms carry none
+// and must stay diagnostic-free.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// mapOrderLeaks collects every map-iteration-order leak the analyzer knows.
+func mapOrderLeaks(counts map[string]int) []string {
+	// Leak (a): appending map keys without sorting afterwards.
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+
+	// Clean: the collect-then-sort idiom restores a deterministic order.
+	sorted := make([]string, 0, len(counts))
+	for k := range counts {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	// Leak (c): float addition rounds differently in every iteration order.
+	var sum float64
+	for _, v := range counts {
+		sum += float64(v) // want `floating-point accumulation into sum`
+	}
+	_ = sum
+
+	// Clean: integer accumulation is order-independent.
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	_ = total
+
+	// Leak (b): rows printed straight out of the map.
+	for k := range counts {
+		fmt.Println(k) // want `output written inside map iteration`
+	}
+
+	// Leak (d): the fresh-label pattern — ids minted from a counter that
+	// advances per iteration, so the id a key gets depends on visit order.
+	labels := map[string]int{}
+	next := 0
+	for k := range counts {
+		labels[k] = next // want `labels is assigned a value derived from loop-mutated state`
+		next++
+	}
+	_ = labels
+
+	// Clean: a keyed write whose value derives only from the key/value pair
+	// touches each key exactly once; order cannot show.
+	doubled := map[string]int{}
+	for k, v := range counts {
+		doubled[k] = v * 2
+	}
+	_ = doubled
+
+	return keys
+}
+
+// firstMatch selects whichever entry the randomized iteration visits first.
+func firstMatch(m map[string]int) int {
+	best := -1
+	for _, v := range m {
+		if v > 0 {
+			best = v // want `best is assigned from the range variables`
+			break
+		}
+	}
+	return best
+}
+
+// existence is the order-independent cousin: a bare flag plus break is fine.
+func existence(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 0 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// clockAndRand reads wall-clock and global-RNG state in an algorithm package.
+func clockAndRand() (int64, int) {
+	t := time.Now().UnixNano() // want `time.Now in algorithm package core`
+	r := rand.Intn(10)         // want `global math/rand.Intn in algorithm package core`
+	return t, r
+}
+
+// seeded is the sanctioned form: methods on an explicitly seeded source.
+func seeded() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}

@@ -1,0 +1,43 @@
+// Package mpi is a golden fixture for the errcheck analyzer. It is named
+// after the real transport package because the surface predicate matches by
+// package name: calls into mpi/partition with a trailing error or a
+// Decode-style ok result must consume it.
+package mpi
+
+// Send models a transport call with a trailing error.
+func Send(rank int) error {
+	if rank < 0 {
+		return errBadRank
+	}
+	return nil
+}
+
+var errBadRank = errorString("bad rank")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// DecodeFrame models a codec call with a trailing validity flag.
+func DecodeFrame(b []byte) (payload []byte, ok bool) { return b, len(b) > 0 }
+
+// Checksum has no failure result; dropping it is fine.
+func Checksum(b []byte) uint32 { return uint32(len(b)) }
+
+func drops(buf []byte) {
+	Send(1)                        // want `error from mpi.Send: result discarded`
+	go Send(2)                     // want `error from mpi.Send: result discarded by go statement`
+	defer Send(3)                  // want `error from mpi.Send: result discarded by defer`
+	DecodeFrame(buf)               // want `ok flag from mpi.DecodeFrame: result discarded`
+	_, _ = DecodeFrame(buf)        // want `ok flag from mpi.DecodeFrame assigned to _`
+	payload, _ := DecodeFrame(buf) // want `ok flag from mpi.DecodeFrame assigned to _`
+	_ = payload
+	Checksum(buf)
+
+	if err := Send(4); err != nil {
+		_ = err
+	}
+	if p, ok := DecodeFrame(buf); ok {
+		_ = p
+	}
+}

@@ -1,0 +1,51 @@
+// Package fixture is a golden fixture for the noalloc analyzer: one
+// annotated function per allocating construct, plus the owned-destination
+// append that must stay clean (the *Into contract).
+package fixture
+
+type item struct{ id int }
+
+type store struct {
+	buf []int
+}
+
+var global []int
+
+// grow is unannotated: allocation is unrestricted here.
+func grow(n int) []int { return make([]int, n) }
+
+//mulint:noalloc fixture: the hot path must stay free of allocating syntax
+func hot(dst []int, vals []int, s *store) []int {
+	tmp := make([]int, 4) // want `make in //mulint:noalloc function hot`
+	_ = tmp
+	p := new(item) // want `new in //mulint:noalloc function hot`
+	_ = p
+	var local []int
+	local = append(local, 1) // want `append to local in //mulint:noalloc function hot`
+	_ = local
+	global = append(global, 2) // want `append to global in //mulint:noalloc function hot`
+	it := item{id: 3}          // want `composite literal in //mulint:noalloc function hot`
+	_ = it
+	fn := func() int { return 0 } // want `function literal in //mulint:noalloc function hot`
+	_ = fn()
+	name := "a"
+	name = name + "b" // want `string concatenation in //mulint:noalloc function hot`
+	_ = name
+	var sink interface{}
+	sink = vals // want `interface conversion in //mulint:noalloc function hot`
+	_ = sink
+
+	// Clean: dst is a parameter, so its capacity is caller-managed — this is
+	// exactly the append the *Into tier performs. Appending through receiver
+	// state (s is a parameter too) is likewise owned.
+	for _, v := range vals {
+		dst = append(dst, v)
+	}
+	s.buf = append(s.buf, len(vals))
+	return dst
+}
+
+//mulint:noalloc fixture: returning a concrete value through an interface result boxes it
+func box(v int) interface{} {
+	return v // want `interface conversion in //mulint:noalloc function box`
+}

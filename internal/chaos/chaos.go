@@ -28,6 +28,7 @@ package chaos
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -278,9 +279,22 @@ func (n *Net) Drain() {
 	n.stopped.Store(true)
 	n.delayMu.Unlock()
 	n.mu.Lock()
-	links := make([]*linkFaults, 0, len(n.links))
-	for _, lf := range n.links {
-		links = append(links, lf)
+	// Flush held frames in fixed (From, To) link order: map iteration would
+	// release them in randomized order, and a deterministic Net must drain
+	// identically on every run of the same plan.
+	keys := make([]Link, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	links := make([]*linkFaults, 0, len(keys))
+	for _, k := range keys {
+		links = append(links, n.links[k])
 	}
 	n.mu.Unlock()
 	for _, lf := range links {

@@ -183,7 +183,7 @@ func StartLocal(localPts []geom.Point, eps float64, minPts int, opts Options) *L
 		opts:       opts,
 		st:         &Stats{},
 	}
-	start := time.Now()
+	start := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	lb.b = mc.NewBuilder(len(localPts[0]), eps, minPts, mc.Options{
 		Fanout:        opts.Fanout,
 		NoDeferral:    opts.NoDeferral,
@@ -202,7 +202,7 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 
 	// Step 1 (continued): halo points join the micro-clusters, then aux
 	// trees and kinds are finalized.
-	start := time.Now()
+	start := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	lb.b.Add(haloPts)
 	ix := lb.b.Finish()
 	set := ix.Points
@@ -213,13 +213,13 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 	// Step 2: reachable micro-cluster lists. Even under the
 	// WholeSpaceQueries ablation these are needed: the post-processing-core
 	// step walks reachable members for its targeted distance checks.
-	start = time.Now()
+	start = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	ix.ComputeReachable()
 	st.Steps.FindingReachable = time.Since(start)
 
 	// Step 3: preliminary clusters from DMC/CMC, then neighborhood queries
 	// with dynamic wndq-core identification.
-	start = time.Now()
+	start = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	r := newRun(set, eps, minPts, localCount, ix, opts, st)
 	if !opts.DisableWndq {
 		r.preliminaryClusters()
@@ -228,7 +228,7 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 	st.Steps.Clustering = time.Since(start)
 
 	// Step 4: final connections.
-	start = time.Now()
+	start = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	r.postProcessCore()
 	r.postProcessNoise()
 	st.Steps.PostProcessing = time.Since(start)
@@ -403,6 +403,8 @@ func (r *run) processRemaining() {
 // core/border/noise resolution. In steady state (warm buffers, core-point
 // expansion) it performs zero heap allocations — the regression test pins
 // that down with testing.AllocsPerRun.
+//
+//mulint:noalloc static twin of TestProcessPointZeroAllocs (allocs_test.go); the cold paths below carry explicit allows
 func (r *run) processPoint(i int) {
 	half2 := (r.eps / 2) * (r.eps / 2)
 	p := r.set.Point(i)
@@ -416,7 +418,7 @@ func (r *run) processPoint(i int) {
 	// Inner-circle tests: same one-distance-per-neighbor cost the query
 	// callback used to pay, now as a linear pass over the hit list.
 	if cap(r.inner) < len(nbhd) {
-		r.inner = make([]bool, len(nbhd))
+		r.inner = make([]bool, len(nbhd)) //mulint:allow noalloc/alloc cold path: scratch grows until warmed, then never again
 	}
 	inner := r.inner[:len(nbhd)]
 	innerCount := 0
@@ -445,11 +447,11 @@ func (r *run) processPoint(i int) {
 				return
 			}
 		}
-		saved := make([]int32, len(nbhd))
+		saved := make([]int32, len(nbhd)) //mulint:allow noalloc/alloc noise path: stored neighborhood must outlive the scratch buffer
 		for k, q := range nbhd {
 			saved[k] = int32(q)
 		}
-		r.noiseList = append(r.noiseList, noiseEntry{id: int32(i), nbhd: saved})
+		r.noiseList = append(r.noiseList, noiseEntry{id: int32(i), nbhd: saved}) //mulint:allow noalloc/alloc noise path: entry escapes into the deferred-noise list
 		return
 	}
 

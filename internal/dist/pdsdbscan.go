@@ -17,7 +17,7 @@ import (
 func PDSDBSCAND(pts []geom.Point, eps float64, minPts, p int, opts Options) (*clustering.Result, *Stats, error) {
 	return runDistributed(pts, eps, minPts, p, opts, localAlgo{run: func(combined []geom.Point, e float64, mp, localCount int) *core.LocalResult {
 		st := &core.Stats{}
-		start := time.Now()
+		start := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 		tree := rtree.BulkLoad(len(combined[0]), 0, combined, nil)
 		st.Steps.TreeConstruction = time.Since(start)
 		// localDriver consumes each neighborhood within one iteration, so a

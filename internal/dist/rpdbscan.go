@@ -55,7 +55,7 @@ func RPDBSCAN(pts []geom.Point, eps float64, minPts, p int, rho float64, opts Op
 		}
 
 		// Level-1: local cell sub-dictionary.
-		t0 := time.Now()
+		t0 := time.Now()                                      //mulint:allow determinism/time stats timing; never reaches clustering output
 		probe := dbscan.BuildGrid([]geom.Point{pts[0]}, side) // key codec helper
 		localCounts := make(map[string]int64)
 		for _, i := range local {
@@ -77,7 +77,7 @@ func RPDBSCAN(pts []geom.Point, eps float64, minPts, p int, rho float64, opts Op
 		build := time.Since(t0)
 
 		if rank == 0 {
-			t1 := time.Now()
+			t1 := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 			recLen := 4*dim + 8
 			for _, b := range all {
 				for off := 0; off+recLen <= len(b); off += recLen {
@@ -123,6 +123,14 @@ func RPDBSCAN(pts []geom.Point, eps float64, minPts, p int, rho float64, opts Op
 			for k, i := range index {
 				dense[k] = cellLabels[i]
 			}
+			// Adjacent-cell adoption below takes the first dense cell that
+			// qualifies; scanning the map directly would let Go's randomized
+			// iteration pick the winner, so the candidate order is pinned.
+			denseKeys := make([]string, 0, len(dense))
+			for k := range dense {
+				denseKeys = append(denseKeys, k)
+			}
+			sort.Strings(denseKeys)
 			remap := make(map[int]int)
 			next := 0
 			for i := range pts {
@@ -131,10 +139,10 @@ func RPDBSCAN(pts []geom.Point, eps float64, minPts, p int, rho float64, opts Op
 				if !ok {
 					cl = -1
 					pc := probe.Unkey(k)
-					for dk, dl := range dense {
+					for _, dk := range denseKeys {
 						if dbscan.ChebyshevWithin(pc, probe.Unkey(dk), rad) &&
 							cellMinDist(pc, probe.Unkey(dk), side) <= rho*eps {
-							cl = dl
+							cl = dense[dk]
 							break
 						}
 					}

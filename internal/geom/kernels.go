@@ -34,17 +34,20 @@ func KernelFor(dim int) DistSqKernel {
 	}
 }
 
+//mulint:noalloc pure arithmetic; runs under every *Into AllocsPerRun gate
 func distSq1(p, q []float64) float64 {
 	d0 := p[0] - q[0]
 	return d0 * d0
 }
 
+//mulint:noalloc pure arithmetic; runs under every *Into AllocsPerRun gate
 func distSq2(p, q []float64) float64 {
 	d0 := p[0] - q[0]
 	d1 := p[1] - q[1]
 	return d0*d0 + d1*d1
 }
 
+//mulint:noalloc pure arithmetic; runs under every *Into AllocsPerRun gate
 func distSq3(p, q []float64) float64 {
 	d0 := p[0] - q[0]
 	d1 := p[1] - q[1]
@@ -52,6 +55,7 @@ func distSq3(p, q []float64) float64 {
 	return d0*d0 + d1*d1 + d2*d2
 }
 
+//mulint:noalloc pure arithmetic; runs under every *Into AllocsPerRun gate
 func distSq4(p, q []float64) float64 {
 	d0 := p[0] - q[0]
 	d1 := p[1] - q[1]
@@ -63,6 +67,8 @@ func distSq4(p, q []float64) float64 {
 // distSqGeneric is the fallback for dim > 4: a 4-way-unrolled scan with a
 // single accumulator updated in coordinate order, so the summation order —
 // and therefore the rounding — matches the simple sequential loop exactly.
+//
+//mulint:noalloc pure arithmetic; runs under every *Into AllocsPerRun gate
 func distSqGeneric(p, q []float64) float64 {
 	q = q[:len(p)] // hoist the bounds check out of the loop
 	var s float64
@@ -90,6 +96,8 @@ func distSqGeneric(p, q []float64) float64 {
 // append order matches a sequential per-point scan of the same block. This is
 // the leaf-scan primitive of the spatial indexes: one call per leaf, no
 // per-candidate callback, no allocation beyond dst growth.
+//
+//mulint:noalloc static twin of the rtree/kdtree TestSphereIntoZeroAllocs AllocsPerRun gates, which drive every leaf scan through here
 func AppendWithinBlock(dst []int, ids []int, block []float64, dim int, center []float64, r2 float64, closed bool) []int {
 	switch dim {
 	case 1:

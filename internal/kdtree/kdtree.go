@@ -156,6 +156,8 @@ func (t *Tree) sphere(n *node, center geom.Point, r2 float64, closed bool, fn fu
 // (or <= r when strict is false) and returns the extended slice plus the
 // number of distance computations. Hit order matches Sphere. Steady-state
 // queries through a warmed dst perform zero allocations.
+//
+//mulint:noalloc static twin of TestSphereIntoZeroAllocs (sphereinto_test.go), the AllocsPerRun gate pinning 0 allocs per warmed query
 func (t *Tree) SphereInto(center geom.Point, r float64, strict bool, dst []int) ([]int, int) {
 	if t.root == nil {
 		return dst, 0
@@ -163,6 +165,7 @@ func (t *Tree) SphereInto(center geom.Point, r float64, strict bool, dst []int) 
 	return t.sphereInto(t.root, center, r*r, !strict, dst)
 }
 
+//mulint:noalloc recursive walk under SphereInto's contract (and gate)
 func (t *Tree) sphereInto(n *node, center geom.Point, r2 float64, closed bool, dst []int) ([]int, int) {
 	if n.mbr.MinDistSq(center) > r2 {
 		return dst, 0

@@ -72,6 +72,22 @@ func TestEpsNeighborhoodIntoZeroAllocs(t *testing.T) {
 	}
 }
 
+// WholeSpaceNeighborhoodInto shares the warmed-buffer contract: the MBR
+// filter plus per-tree scans allocate nothing in steady state.
+func TestWholeSpaceNeighborhoodIntoZeroAllocs(t *testing.T) {
+	pts, ix := buildRandom(t, 79, 1200, 3, 0.8, 5)
+	buf := make([]int, 0, 2048)
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		id := i % len(pts)
+		buf, _ = ix.WholeSpaceNeighborhoodInto(ix.Points.Point(id), buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("WholeSpaceNeighborhoodInto allocated %.1f times per query; want 0", allocs)
+	}
+}
+
 // The Index's contiguous store must hold exactly the input points, in order,
 // and every MC center view must alias its own row.
 func TestIndexPointsStore(t *testing.T) {

@@ -317,6 +317,8 @@ func (ix *Index) MCOf(pointID int) *MicroCluster { return ix.MCs[ix.PointMC[poin
 // extended slice, the number of point-distance computations, and the number
 // of auxiliary trees actually searched. With a warmed dst the query performs
 // zero allocations; this is the primitive under every clustering hot loop.
+//
+//mulint:noalloc static twin of TestEpsNeighborhoodIntoZeroAllocs (into_test.go), the AllocsPerRun gate pinning 0 allocs per warmed ε-query
 func (ix *Index) EpsNeighborhoodInto(p geom.Point, pointID int, dst []int) (_ []int, distCalcs, treesSearched int) {
 	// Every member of MC Z lies strictly within ε of Z's center, so a
 	// member can only be within ε of p when dist(p, center) < 2ε — a much
@@ -384,6 +386,8 @@ func (ix *Index) VisitReachableMembers(p geom.Point, pointID int, fn func(id int
 // WholeSpaceNeighborhoodInto is the ablation variant of EpsNeighborhoodInto
 // that ignores reachable lists and queries every micro-cluster's auxiliary
 // tree (still pruned by MBR overlap). Used by BenchmarkAblationReachable.
+//
+//mulint:noalloc static twin of TestWholeSpaceNeighborhoodIntoZeroAllocs (into_test.go), the AllocsPerRun gate pinning 0 allocs per warmed query
 func (ix *Index) WholeSpaceNeighborhoodInto(p geom.Point, dst []int) (_ []int, distCalcs int) {
 	for _, z := range ix.MCs {
 		if !z.Aux.RootMBR().OverlapsRegion(p, ix.Eps) {

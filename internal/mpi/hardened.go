@@ -100,6 +100,8 @@ func (w *world) link(src, dst int) *linkState { return w.links[dst*w.size+src] }
 // src. Unlike the trusting path's blocking send it must not panic: it runs
 // on transport and retransmit goroutines with no rank recover above them.
 // An abort unblocks it so stray deliveries cannot wedge teardown.
+//
+//mulint:inline runs on the delivering goroutine; spawning here would break the inline-ack guarantee
 func (w *world) mailboxPut(src, dst int, m message) {
 	select {
 	case w.chans[dst*w.size+src] <- m:
@@ -109,6 +111,8 @@ func (w *world) mailboxPut(src, dst int, m message) {
 
 // deliverData pushes one envelope frame toward dst through the configured
 // transport (or directly when none is set).
+//
+//mulint:inline the clean-network fast path acks inline on this goroutine; a go statement anywhere below would silently reintroduce the per-send goroutine the hardened path exists to avoid
 func (w *world) deliverData(src, dst int, m Message) {
 	if w.transport != nil {
 		w.transport.Deliver(src, dst, m, func(mm Message) { w.receiveEnvelope(src, dst, mm) })
@@ -186,6 +190,8 @@ func (w *world) retransmitLoop(r *Request, src, dst int, seq uint64, tag int, en
 // prefix into the real mailbox. It runs on whatever goroutine the transport
 // delivers from, which is what keeps acks flowing while both endpoint ranks
 // are themselves blocked sending (the all-to-all pattern).
+//
+//mulint:inline must complete on the delivering goroutine so the ack is sent before Deliver returns
 func (w *world) receiveEnvelope(src, dst int, m Message) {
 	seq, tag, payload, ok := DecodeEnvelope(m.Data)
 	if !ok {
@@ -220,6 +226,8 @@ func (w *world) receiveEnvelope(src, dst int, m Message) {
 // sendAck acknowledges seq on the src→dst link by sending a frame back
 // along dst→src. Acks cross the same transport as data, so a fault plan can
 // drop or corrupt them; the sender's retransmission covers both directions.
+//
+//mulint:inline acks must flow even while every rank goroutine is blocked sending
 func (w *world) sendAck(src, dst int, seq uint64) {
 	buf := EncodeAck(seq)
 	atomic.AddInt64(&w.envelopeBytes, ackFrameLen)
@@ -234,6 +242,8 @@ func (w *world) sendAck(src, dst int, seq uint64) {
 // receiveAck resolves a pending send on the src→dst link. Unknown sequence
 // numbers (already acked, or the frame was corrupted into a different valid
 // ack — impossible with CRC32-C at these sizes, but harmless) are ignored.
+//
+//mulint:inline resolves the pending send on the delivering goroutine; the inline-completion fast path in startHardenedSend depends on it
 func (w *world) receiveAck(src, dst int, m Message) {
 	seq, ok := DecodeAck(m.Data)
 	if !ok {

@@ -12,7 +12,38 @@ package quality
 import (
 	"fmt"
 	"math"
+	"sort"
 )
+
+// sortedCellKeys returns the contingency table's keys in lexicographic
+// order. Every metric folds the table through floating-point sums, and the
+// rounding of a float sum depends on its term order — iterating the map
+// directly would make ARI/NMI/Purity scores vary run to run on the same
+// inputs (mulint: determinism/maprange).
+func sortedCellKeys(m map[[2]int]float64) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// sortedClassKeys returns a marginal's class ids in increasing order, for
+// the same order-stable summation reason as sortedCellKeys.
+func sortedClassKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // contingency builds the confusion counts between two labelings, mapping
 // negative (noise) labels to a dedicated class per side.
@@ -52,14 +83,14 @@ func ARI(a, b []int) (float64, error) {
 		return 1, nil
 	}
 	var sumComb, sumRows, sumCols float64
-	for _, v := range table {
-		sumComb += choose2(v)
+	for _, k := range sortedCellKeys(table) {
+		sumComb += choose2(table[k])
 	}
-	for _, v := range rows {
-		sumRows += choose2(v)
+	for _, k := range sortedClassKeys(rows) {
+		sumRows += choose2(rows[k])
 	}
-	for _, v := range cols {
-		sumCols += choose2(v)
+	for _, k := range sortedClassKeys(cols) {
+		sumCols += choose2(cols[k])
 	}
 	total := choose2(n)
 	if total == 0 {
@@ -86,7 +117,8 @@ func NMI(a, b []int) (float64, error) {
 		return 1, nil
 	}
 	var mi, ha, hb float64
-	for k, v := range table {
+	for _, k := range sortedCellKeys(table) {
+		v := table[k]
 		if v == 0 {
 			continue
 		}
@@ -95,14 +127,14 @@ func NMI(a, b []int) (float64, error) {
 		py := cols[k[1]] / n
 		mi += pxy * math.Log(pxy/(px*py))
 	}
-	for _, v := range rows {
-		if v > 0 {
+	for _, k := range sortedClassKeys(rows) {
+		if v := rows[k]; v > 0 {
 			p := v / n
 			ha -= p * math.Log(p)
 		}
 	}
-	for _, v := range cols {
-		if v > 0 {
+	for _, k := range sortedClassKeys(cols) {
+		if v := cols[k]; v > 0 {
 			p := v / n
 			hb -= p * math.Log(p)
 		}
@@ -143,8 +175,8 @@ func Purity(truth, pred []int) (float64, error) {
 		}
 	}
 	var agree float64
-	for _, v := range best {
-		agree += v
+	for _, k := range sortedClassKeys(best) {
+		agree += best[k]
 	}
 	return agree / n, nil
 }

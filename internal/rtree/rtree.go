@@ -352,6 +352,8 @@ func (t *Tree) sphere(n *node, center geom.Point, r2 float64, closed bool, fn fu
 // matches Sphere's visit order. The query performs zero allocations once dst
 // has warmed to the neighborhood size, which is what lets the clustering
 // loops run allocation-free in steady state.
+//
+//mulint:noalloc static twin of TestSphereIntoZeroAllocs (sphereinto_test.go), the AllocsPerRun gate pinning 0 allocs per warmed query
 func (t *Tree) SphereInto(center geom.Point, r float64, strict bool, dst []int) ([]int, int) {
 	if t.size == 0 {
 		return dst, 0
@@ -359,6 +361,7 @@ func (t *Tree) SphereInto(center geom.Point, r float64, strict bool, dst []int) 
 	return t.sphereInto(t.root, center, r*r, !strict, dst)
 }
 
+//mulint:noalloc recursive walk under SphereInto's contract (and gate)
 func (t *Tree) sphereInto(n *node, center geom.Point, r2 float64, closed bool, dst []int) ([]int, int) {
 	if n.leaf {
 		return geom.AppendWithinBlock(dst, n.ids, n.coords, t.dim, center, r2, closed), len(n.ids)

@@ -102,7 +102,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 
 	// Step 1: μR-tree construction; the per-MC finalize work runs on the
 	// same worker count as the rest of the pipeline.
-	start := time.Now()
+	start := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	ix := mc.Build(pts, eps, minPts, mc.Options{
 		Fanout:        opts.Fanout,
 		SkipReachable: true,
@@ -113,7 +113,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 
 	// Step 2: reachable lists, parallel over MCs against the immutable
 	// center tree.
-	start = time.Now()
+	start = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	ix.ComputeReachable()
 	st.Steps.FindingReachable = time.Since(start)
 
@@ -124,7 +124,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 	// plain bool: when every member's union was performed (none deferred to
 	// another cluster's claim), the MC occupies a single union-find
 	// component forever — unions only merge — which step 4b exploits.
-	start = time.Now()
+	start = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	par.For(workers, len(ix.MCs), func(w, i int) {
 		z := ix.MCs[i]
 		if z.Kind == mc.SMC {
@@ -158,7 +158,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 
 	// Step 4a: deferred links — all core flags are final now, so any stale
 	// observation is resolved.
-	start = time.Now()
+	start = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
 	deferred := collect(s.deferred)
 	par.For(workers, len(deferred), func(_, i int) {
 		d := deferred[i]
@@ -361,6 +361,12 @@ func (s *state) linkFromCore(w int, c, q int32) bool {
 	return false
 }
 
+// processPoint is the per-worker twin of core.(*run).processPoint and keeps
+// its steady-state zero-allocation contract (core's TestProcessPointZeroAllocs
+// covers the shared body of the algorithm; the per-worker scratch buffers
+// here follow the same warm-up discipline).
+//
+//mulint:noalloc cross-ref core TestProcessPointZeroAllocs; cold paths below carry explicit allows
 func (s *state) processPoint(w, i int) {
 	p := s.set.Point(i)
 	half2 := (s.eps / 2) * (s.eps / 2)
@@ -369,7 +375,7 @@ func (s *state) processPoint(w, i int) {
 	nbhd, calcs, _ = s.ix.EpsNeighborhoodInto(p, i, nbhd)
 	s.nbhdBufs[w] = nbhd
 	if cap(s.innerBufs[w]) < len(nbhd) {
-		s.innerBufs[w] = make([]bool, len(nbhd))
+		s.innerBufs[w] = make([]bool, len(nbhd)) //mulint:allow noalloc/alloc cold path: per-worker scratch grows until warmed
 	}
 	inner := s.innerBufs[w][:len(nbhd)]
 	innerCount := 0
@@ -397,11 +403,11 @@ func (s *state) processPoint(w, i int) {
 		}
 		// The scratch buffer is reused on the next query, so the stored
 		// neighborhood must be an owned copy.
-		saved := make([]int32, len(nbhd))
+		saved := make([]int32, len(nbhd)) //mulint:allow noalloc/alloc noise path: stored neighborhood must outlive the scratch buffer
 		for k, q := range nbhd {
 			saved[k] = int32(q)
 		}
-		s.noiseLists[w] = append(s.noiseLists[w], noiseEntry{id: int32(i), nbhd: saved})
+		s.noiseLists[w] = append(s.noiseLists[w], noiseEntry{id: int32(i), nbhd: saved}) //mulint:allow noalloc/alloc noise path: entry escapes into the deferred-noise list
 		return
 	}
 

@@ -229,7 +229,16 @@ func (c *Clusterer) decayMC(m *MC, t float64) {
 // maintain decays every MC to the current time and prunes the feather-weight
 // ones.
 func (c *Clusterer) maintain() {
-	for id, m := range c.mcs {
+	// Prune in increasing id order: iterating the map directly would apply
+	// the cell-list removals in randomized order, and maintenance must be a
+	// pure function of the ingested stream.
+	ids := make([]int, 0, len(c.mcs))
+	for id := range c.mcs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m := c.mcs[id]
 		c.decayMC(m, c.now)
 		if m.Weight < c.opts.PruneBelow {
 			delete(c.mcs, id)
