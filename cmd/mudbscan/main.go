@@ -5,16 +5,26 @@
 //
 //	mudbscan -eps 0.5 -minpts 5 [-mode seq|parallel|dist] [-ranks 8]
 //	         [-dist-serial] [-hardened] [-chaos-seed 3] [-workers 4]
+//	         [-net tcp|unix|launch] [-rank N] [-peers a,b,...]
 //	         [-in points.csv] [-out labels.txt] [-stats]
 //
 // The input is CSV (one point per line; comma, space, tab or semicolon
 // separated) or the compact binary format produced by datagen -format bin
 // (detected by extension .bin). "-" reads stdin. Labels are written one per
 // line: a cluster id in [0, #clusters) or -1 for noise.
+//
+// With -net, -mode dist leaves the single-process simulation: each rank is a
+// separate OS process and the ranks exchange messages over real sockets.
+// `-net tcp -rank N -peers host:p0,host:p1,...` runs one rank of the world
+// (start one such process per peer-list entry; rank 0 writes the labels);
+// `-net launch` forks all -ranks rank processes on loopback itself.
+//
+// Exit status: 0 on success, 1 on runtime errors, 2 on usage errors.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,10 +39,43 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "mudbscan:", err)
-		os.Exit(1)
+	os.Exit(exitCode(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr), os.Stderr))
+}
+
+// usageError marks an error caused by the invocation rather than the run.
+// printed records whether the flag package already reported it (its parse
+// errors print the message and usage before returning), so main reports
+// every usage error exactly once — the historical ContinueOnError behaviour
+// printed parse errors twice.
+type usageError struct {
+	err     error
+	printed bool
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// usagef builds a not-yet-printed usage error.
+func usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// exitCode maps run's error to the process exit status: 0 for success and
+// -h/-help, 2 for usage errors (reported exactly once), 1 for everything
+// else.
+func exitCode(err error, stderr io.Writer) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
 	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		if !ue.printed {
+			fmt.Fprintln(stderr, "mudbscan:", ue.err)
+		}
+		return 2
+	}
+	fmt.Fprintln(stderr, "mudbscan:", err)
+	return 1
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error) {
@@ -53,12 +96,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 		suggest = fs.Bool("suggest-eps", false, "print a suggested eps from the k-distance elbow and exit")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		netMode = fs.String("net", "", "run -mode dist over real sockets: tcp, unix (one rank per process) or launch (fork all ranks)")
+		rank    = fs.Int("rank", -1, "this process's rank for -net tcp|unix")
+		peers   = fs.String("peers", "", "comma-separated rank addresses for -net tcp|unix (entry i = rank i's listen address)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		// ContinueOnError already printed the message and usage to stderr.
+		return &usageError{err: err, printed: true}
 	}
 	if *eps <= 0 && !*suggest {
-		return fmt.Errorf("-eps is required and must be positive")
+		return usagef("-eps is required and must be positive")
+	}
+	netCfg, err := parseNetFlags(fs, *netMode, *rank, *peers, *mode, *ranks, *distSer, *chSeed)
+	if err != nil {
+		return err
 	}
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -112,6 +166,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 				st.Steps.Clustering, st.Steps.PostProcessing)
 		}
 	case "dist":
+		if netCfg != nil {
+			if netCfg.launch {
+				return runLaunch(*ranks, pts, *eps, *minPts, *stats, *outPath, stdout, stderr)
+			}
+			return runNetRank(netCfg, pts, *eps, *minPts, *stats, *outPath, stdout, stderr, start)
+		}
 		var distOpts []mudbscan.Option
 		if *distSer {
 			distOpts = append(distOpts, mudbscan.WithSerialSimulation())
@@ -135,7 +195,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 			}
 		}
 	default:
-		return fmt.Errorf("unknown -mode %q (want seq, parallel or dist)", *mode)
+		return usagef("unknown -mode %q (want seq, parallel or dist)", *mode)
 	}
 	if err != nil {
 		return err

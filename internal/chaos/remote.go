@@ -1,0 +1,49 @@
+package chaos
+
+import "mudbscan/internal/mpi"
+
+// RemoteNet decorates an mpi.RemoteTransport with a fault Plan applied on
+// the send side: every outbound frame first passes the deterministic fault
+// lottery (drop, duplicate, corrupt, reorder, delay) and each surviving copy
+// is then handed to the real transport for socket delivery. The receive side
+// is untouched — faults injected before the wire are indistinguishable, to
+// the remote peer, from faults on it. This is how the chaos conformance
+// sweeps run over real loopback sockets.
+type RemoteNet struct {
+	net   *Net
+	inner mpi.RemoteTransport
+}
+
+var _ mpi.RemoteTransport = (*RemoteNet)(nil)
+var _ mpi.Drainer = (*RemoteNet)(nil)
+
+// Remote wraps inner with plan's fault schedule.
+func Remote(plan Plan, inner mpi.RemoteTransport) *RemoteNet {
+	return &RemoteNet{net: New(plan), inner: inner}
+}
+
+// Counts returns the fault counters of the underlying Net.
+func (r *RemoteNet) Counts() Counts { return r.net.Counts() }
+
+// Deliver implements mpi.Transport: the fault lottery decides the fate of
+// the frame, and whatever it lets through goes out over the real transport.
+func (r *RemoteNet) Deliver(from, to int, m mpi.Message, deliver func(mpi.Message)) {
+	r.net.Deliver(from, to, m, func(mm mpi.Message) {
+		r.inner.Deliver(from, to, mm, deliver)
+	})
+}
+
+// Bind implements mpi.RemoteTransport by passing the callbacks through.
+func (r *RemoteNet) Bind(ingress func(from int, m mpi.Message), peerDown func(rank int)) {
+	r.inner.Bind(ingress, peerDown)
+}
+
+// Shutdown implements mpi.RemoteTransport: the fault layer flushes its held
+// and delayed frames into the real transport, which then closes.
+func (r *RemoteNet) Shutdown(clean bool) {
+	r.net.Drain()
+	r.inner.Shutdown(clean)
+}
+
+// Drain implements mpi.Drainer as a clean Shutdown.
+func (r *RemoteNet) Drain() { r.Shutdown(true) }

@@ -98,6 +98,11 @@ type Options struct {
 	// defaults). Its Budget() bounds how long a run with a dead rank can
 	// take to fail with ErrRankLost.
 	Retry mpi.RetryPolicy
+	// Remote switches to multi-process execution: this process runs exactly
+	// one rank and the rest of the world is reached through Remote.Transport
+	// (see network.go). Exec and Transport are ignored — the remote runtime
+	// is always hardened over its own transport.
+	Remote *Remote
 }
 
 // mpiOptions maps the communication-relevant options onto the runtime.
@@ -224,6 +229,9 @@ type rankData struct {
 // returns the exact global clustering in original point order, dispatching
 // on the configured execution mode. Both modes produce identical results.
 func runDistributed(pts []geom.Point, eps float64, minPts, p int, opts Options, algo localAlgo) (*clustering.Result, *Stats, error) {
+	if opts.Remote != nil {
+		return runNetworked(pts, eps, minPts, p, opts, algo)
+	}
 	if opts.Exec == ExecSerial {
 		return runSerial(pts, eps, minPts, p, opts, algo.run)
 	}

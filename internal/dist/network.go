@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mpi"
+	"mudbscan/internal/partition"
+	"mudbscan/internal/unionfind"
+)
+
+// mergeTag carries each rank's merge contribution (core flags, union edges,
+// stats) to rank 0 in the networked driver's gather-to-root merge.
+const mergeTag = -1085
+
+// Remote configures multi-process execution: this process runs exactly one
+// rank of the world, and the other ranks — separate OS processes started by
+// the launcher or by hand — are reached through the transport. Every process
+// must call the same entry point with the same points, parameters and
+// options (standard SPMD discipline); only rank 0 assembles and returns the
+// clustering.
+type Remote struct {
+	// Rank is this process's rank.
+	Rank int
+	// Transport connects the rank processes (e.g. internal/mpi/nettrans).
+	Transport mpi.RemoteTransport
+	// Linger passes through to mpi.RemoteOptions.Linger; needed only over
+	// lossy transports (fault-injection tests), zero for real sockets.
+	Linger time.Duration
+}
+
+// runNetworked executes the shared skeleton as one rank of a multi-process
+// world. The pipeline is the concurrent driver's — kd partitioning,
+// non-blocking halo exchange overlapped with index construction, rank-local
+// clustering, exact-core flag pushes — but the merge cannot fold into a
+// shared union-find across processes, so every rank ships its merge
+// contribution (owned global ids, exact core flags, union edges) to rank 0,
+// which applies them in rank order exactly as the serial driver does. The
+// union structure is order-insensitive and clustering.FromUnionLabels
+// numbers clusters by first appearance in point order, so the labels are
+// byte-identical to both in-process drivers — the loopback conformance suite
+// asserts it against ExecConcurrent.
+//
+// On ranks other than 0 the returned Result is nil and the Stats hold only
+// this process's communication counters. Rank 0's Stats aggregate the
+// algorithm counters and phase maxima of all ranks (shipped inside the merge
+// payloads); its Comm remains rank-0-local, since no process sees another's
+// byte counts.
+func runNetworked(pts []geom.Point, eps float64, minPts, p int, opts Options, algo localAlgo) (*clustering.Result, *Stats, error) {
+	n := len(pts)
+	if n == 0 {
+		return &clustering.Result{}, &Stats{Ranks: p}, nil
+	}
+	wallStart := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+	dim := len(pts[0])
+	st := &Stats{Ranks: p}
+	self := opts.Remote.Rank
+
+	var result *clustering.Result
+	comm, err := mpi.RunRemote(mpi.RemoteOptions{
+		Rank:      self,
+		Size:      p,
+		Transport: opts.Remote.Transport,
+		Retry:     opts.Retry,
+		Linger:    opts.Remote.Linger,
+	}, func(c *mpi.Comm) error {
+		rank := c.Rank()
+
+		// Phases 1–3 are the concurrent driver's, unchanged.
+		t0 := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+		part, err := partition.KD(c, partition.Scatter(rank, p, pts), dim, opts.SampleSize, opts.Seed)
+		if err != nil {
+			return err
+		}
+		partTime := time.Since(t0)
+
+		t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+		bufs, sentTo := haloSendBuffers(part, eps, dim, rank, p)
+		xchg := c.IAlltoall(bufs)
+		haloInit := time.Since(t0)
+
+		localCount := len(part.Local)
+		localPts := make([]geom.Point, localCount)
+		gids := make([]int64, localCount)
+		for i, rec := range part.Local {
+			localPts[i] = rec.Pt
+			gids[i] = rec.ID
+		}
+		var finish func(haloPts []geom.Point) *core.LocalResult
+		if algo.start != nil && localCount > 0 {
+			finish = algo.start(localPts, eps, minPts)
+		}
+
+		t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+		recv := xchg.Wait()
+		var haloPts []geom.Point
+		haloFrom := make([]int, p)
+		for src := 0; src < p; src++ {
+			if src == rank {
+				continue
+			}
+			recs := partition.DecodeRecords(recv[src], dim)
+			haloFrom[src] = len(recs)
+			for _, rec := range recs {
+				haloPts = append(haloPts, rec.Pt)
+				gids = append(gids, rec.ID)
+			}
+		}
+		haloTime := haloInit + time.Since(t0)
+
+		var lr *core.LocalResult
+		switch {
+		case localCount == 0:
+			lr = inertLocalResult(len(gids))
+		case finish != nil:
+			lr = finish(haloPts)
+		default:
+			combined := make([]geom.Point, 0, len(gids))
+			combined = append(combined, localPts...)
+			combined = append(combined, haloPts...)
+			lr = algo.run(combined, eps, minPts, localCount)
+		}
+
+		// Phase 4: exact core flags travel exactly as in the concurrent
+		// driver; the union work is packaged instead of applied.
+		t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+		var mergeB int64
+		for dst := 0; dst < p; dst++ {
+			if dst == rank {
+				continue
+			}
+			fl := make([]byte, len(sentTo[dst]))
+			for k, li := range sentTo[dst] {
+				if lr.Core[li] {
+					fl[k] = 1
+				}
+			}
+			mergeB += int64(len(fl))
+			c.Isend(dst, flagTag, fl)
+		}
+
+		exact := make([]bool, len(gids))
+		copy(exact, lr.Core)
+		cur := localCount
+		for src := 0; src < p; src++ {
+			if src == rank {
+				continue
+			}
+			fl := c.Recv(src, flagTag)
+			if len(fl) != haloFrom[src] {
+				return fmt.Errorf("dist: rank %d got %d flags from %d, want %d", rank, len(fl), src, haloFrom[src])
+			}
+			for _, b := range fl {
+				if b != 0 {
+					exact[cur] = true
+				}
+				cur++
+			}
+		}
+		edges := rankMergeEdges(lr, gids, exact)
+		mergeB += int64(len(edges) * 16)
+		mergeTime := time.Since(t0)
+
+		contrib := mergeContribution{
+			localCount: localCount,
+			gids:       gids[:localCount],
+			core:       lr.Core[:localCount],
+			edges:      edges,
+			stats: [mergeStatFields]int64{
+				int64(lr.Stats.Queries), int64(lr.Stats.QueriesSaved), int64(lr.Stats.NumMCs),
+				int64(len(haloPts)), int64(len(lr.Pairs)), mergeB,
+				int64(partTime), int64(haloTime),
+				int64(lr.Stats.Steps.TreeConstruction), int64(lr.Stats.Steps.FindingReachable),
+				int64(lr.Stats.Steps.Clustering), int64(lr.Stats.Steps.PostProcessing),
+				int64(mergeTime),
+			},
+		}
+		if rank != 0 {
+			c.Send(0, mergeTag, mpi.EncodeInt64s(contrib.encode()))
+			return nil
+		}
+
+		// Rank 0: apply every rank's contribution in rank order — the serial
+		// driver's application order.
+		guf := unionfind.New(n)
+		globalCore := make([]bool, n)
+		for r := 0; r < p; r++ {
+			cb := contrib
+			if r != 0 {
+				var ok bool
+				cb, ok = decodeContribution(mpi.DecodeInt64s(c.Recv(r, mergeTag)))
+				if !ok {
+					return fmt.Errorf("dist: rank 0 got a malformed merge payload from rank %d", r)
+				}
+			}
+			for i := 0; i < cb.localCount; i++ {
+				gid := cb.gids[i]
+				if gid < 0 || gid >= int64(n) {
+					return fmt.Errorf("dist: rank %d claims out-of-range point id %d", r, gid)
+				}
+				globalCore[gid] = cb.core[i]
+			}
+			for _, e := range cb.edges {
+				if e[0] < 0 || e[0] >= int64(n) || e[1] < 0 || e[1] >= int64(n) {
+					return fmt.Errorf("dist: rank %d sent out-of-range union edge (%d, %d)", r, e[0], e[1])
+				}
+				guf.Union(int(e[0]), int(e[1]))
+			}
+			s := cb.stats
+			st.Queries += s[0]
+			st.QueriesSaved += s[1]
+			st.NumMCs += s[2]
+			st.HaloPoints += s[3]
+			st.PairsDeferred += s[4]
+			st.MergeBytes += s[5]
+			st.Phases.Partition = maxDur(st.Phases.Partition, time.Duration(s[6]))
+			st.Phases.HaloExchange = maxDur(st.Phases.HaloExchange, time.Duration(s[7]))
+			st.Phases.TreeConstruction = maxDur(st.Phases.TreeConstruction, time.Duration(s[8]))
+			st.Phases.FindingReachable = maxDur(st.Phases.FindingReachable, time.Duration(s[9]))
+			st.Phases.Clustering = maxDur(st.Phases.Clustering, time.Duration(s[10]))
+			st.Phases.PostProcessing = maxDur(st.Phases.PostProcessing, time.Duration(s[11]))
+			st.Phases.Merge = maxDur(st.Phases.Merge, time.Duration(s[12]))
+		}
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = guf.Find(i)
+		}
+		result = clustering.FromUnionLabels(comp, globalCore)
+		return nil
+	})
+	if err != nil {
+		return commFailure(err, st, comm)
+	}
+	st.Comm = comm
+	st.WallClock = time.Since(wallStart)
+	return result, st, nil
+}
+
+// mergeStatFields is the number of int64 stat slots in a merge payload.
+const mergeStatFields = 13
+
+// mergeContribution is one rank's input to the gather-to-root merge.
+type mergeContribution struct {
+	localCount int
+	gids       []int64
+	core       []bool
+	edges      [][2]int64
+	stats      [mergeStatFields]int64
+}
+
+// encode lays the contribution out as int64s:
+//
+//	[0]  localCount
+//	[1]  edge count
+//	[2:2+mergeStatFields) stats
+//	then localCount gids, ceil(localCount/64) packed core-flag words,
+//	and 2 int64s per edge.
+func (m mergeContribution) encode() []int64 {
+	words := (m.localCount + 63) / 64
+	out := make([]int64, 0, 2+mergeStatFields+m.localCount+words+2*len(m.edges))
+	out = append(out, int64(m.localCount), int64(len(m.edges)))
+	out = append(out, m.stats[:]...)
+	out = append(out, m.gids...)
+	for w := 0; w < words; w++ {
+		var bits uint64
+		for b := 0; b < 64 && w*64+b < m.localCount; b++ {
+			if m.core[w*64+b] {
+				bits |= 1 << b
+			}
+		}
+		out = append(out, int64(bits))
+	}
+	for _, e := range m.edges {
+		out = append(out, e[0], e[1])
+	}
+	return out
+}
+
+// decodeContribution unpacks encode's layout, rejecting any length or count
+// mismatch instead of panicking on a damaged or truncated payload.
+func decodeContribution(v []int64) (mergeContribution, bool) {
+	var m mergeContribution
+	if len(v) < 2+mergeStatFields {
+		return m, false
+	}
+	lc, ne := v[0], v[1]
+	if lc < 0 || ne < 0 {
+		return m, false
+	}
+	words := (lc + 63) / 64
+	if int64(len(v)) != 2+mergeStatFields+lc+words+2*ne {
+		return m, false
+	}
+	m.localCount = int(lc)
+	copy(m.stats[:], v[2:2+mergeStatFields])
+	rest := v[2+mergeStatFields:]
+	m.gids = rest[:lc]
+	m.core = make([]bool, lc)
+	for i := range m.core {
+		m.core[i] = rest[lc+int64(i)/64]&(1<<(i%64)) != 0
+	}
+	edgeBase := lc + words
+	m.edges = make([][2]int64, ne)
+	for i := range m.edges {
+		m.edges[i] = [2]int64{rest[edgeBase+2*int64(i)], rest[edgeBase+2*int64(i)+1]}
+	}
+	return m, true
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -74,6 +75,42 @@ func TestAckRoundTripAndDamage(t *testing.T) {
 	}
 }
 
+// TestDecodeEnvelopeTruncationSweep covers the socket reassembly failure
+// mode frame by frame: every proper prefix of a valid envelope or ack —
+// a stream cut mid-header or mid-payload — must be rejected, not panic and
+// not over-read.
+func TestDecodeEnvelopeTruncationSweep(t *testing.T) {
+	env := EncodeEnvelope(11, -1085, []byte("merge contribution bytes"))
+	for n := 0; n < len(env); n++ {
+		if _, _, _, ok := DecodeEnvelope(env[:n]); ok {
+			t.Fatalf("envelope prefix of %d/%d bytes accepted", n, len(env))
+		}
+	}
+	ack := EncodeAck(11)
+	for n := 0; n < len(ack); n++ {
+		if _, ok := DecodeAck(ack[:n]); ok {
+			t.Fatalf("ack prefix of %d/%d bytes accepted", n, len(ack))
+		}
+	}
+}
+
+// TestDecodeEnvelopeLengthLying pins rejection of frames whose length field
+// disagrees with the bytes actually present — even when the checksum has
+// been recomputed to match, so the length check cannot be outsourced to the
+// CRC.
+func TestDecodeEnvelopeLengthLying(t *testing.T) {
+	payload := []byte("socket payload")
+	env := EncodeEnvelope(5, -1080, payload)
+	for _, lie := range []uint32{0, 5, uint32(len(payload) + 1), 1 << 30, ^uint32(0)} {
+		cp := append([]byte(nil), env...)
+		binary.LittleEndian.PutUint32(cp[20:], lie)
+		binary.LittleEndian.PutUint32(cp[24:], envChecksum(cp))
+		if _, _, _, ok := DecodeEnvelope(cp); ok {
+			t.Fatalf("length lie %d accepted", lie)
+		}
+	}
+}
+
 // FuzzEnvelopeCodec drives the hardened frame codecs with arbitrary bytes:
 // decoding must never panic, valid frames must round-trip exactly, and any
 // single-bit flip or truncation of a valid frame must be rejected (CRC32-C
@@ -83,6 +120,16 @@ func FuzzEnvelopeCodec(f *testing.F) {
 	f.Add([]byte(nil), uint64(0), int64(0), uint16(0))
 	f.Add([]byte("halo records"), uint64(42), int64(-1081), uint16(17))
 	f.Add(EncodeEnvelope(7, -1080, []byte{1, 2, 3}), uint64(7), int64(-1080), uint16(200))
+	// Socket-path corpus: frames a TCP stream can actually produce — cut
+	// mid-header, cut mid-payload, and length fields lying about the payload
+	// (with the checksum recomputed so only the length check can catch them).
+	f.Add(EncodeEnvelope(9, -1099, []byte("cut short"))[:12], uint64(9), int64(-1099), uint16(3))
+	f.Add(EncodeEnvelope(10, -1085, []byte("cut mid payload"))[:envHeaderLen+4], uint64(10), int64(-1085), uint16(9))
+	lying := EncodeEnvelope(11, 8, []byte("length lies"))
+	binary.LittleEndian.PutUint32(lying[20:], 1<<30)
+	binary.LittleEndian.PutUint32(lying[24:], envChecksum(lying))
+	f.Add(lying, uint64(11), int64(8), uint16(30))
+	f.Add(EncodeAck(12)[:7], uint64(12), int64(0), uint16(50))
 	f.Fuzz(func(t *testing.T, raw []byte, seq uint64, tag int64, flip uint16) {
 		// Arbitrary input: must not panic, and if it decodes it must re-encode
 		// to the same bytes (there is exactly one valid frame per content).

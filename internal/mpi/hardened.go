@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,22 +38,43 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	return r
 }
 
+// next returns the backoff wait that follows t: doubled, capped at
+// MaxTimeout. The cap is applied before doubling, so the result cannot wrap
+// negative for any user-supplied BaseTimeout — Duration is an int64 of
+// nanoseconds, and a naive t*2 overflows for t > ~146 years, turning every
+// subsequent wait negative (a timer that fires immediately) well before the
+// MaxTimeout comparison sees it.
+func (r RetryPolicy) next(t time.Duration) time.Duration {
+	if t > r.MaxTimeout/2 {
+		return r.MaxTimeout
+	}
+	return t * 2
+}
+
+// satAddDur adds two non-negative Durations, saturating at the maximum
+// representable Duration instead of wrapping.
+func satAddDur(a, b time.Duration) time.Duration {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
 // Budget returns the maximum time one send can spend waiting for an ack
-// before its destination is declared lost: the sum of all backoff timeouts.
-// Callers use it to bound how long a permanently-lossy run may take to
-// surface RankLostError.
+// before its destination is declared lost: the sum of all backoff timeouts,
+// computed with the exact doubling-and-cap schedule the retransmit loop
+// follows (one wait per attempt, MaxAttempts waits total) and saturating
+// instead of overflowing for extreme policies. Callers use it to bound how
+// long a permanently-lossy run may take to surface RankLostError.
 func (r RetryPolicy) Budget() time.Duration {
 	r = r.withDefaults()
 	var total time.Duration
 	t := r.BaseTimeout
 	for i := 1; i < r.MaxAttempts; i++ {
-		total += t
-		t *= 2
-		if t > r.MaxTimeout {
-			t = r.MaxTimeout
-		}
+		total = satAddDur(total, t)
+		t = r.next(t)
 	}
-	return total + t
+	return satAddDur(total, t)
 }
 
 // RankLostError reports that a destination rank exhausted the sender's
@@ -176,10 +198,7 @@ func (w *world) retransmitLoop(r *Request, src, dst int, seq uint64, tag int, en
 		}
 		atomic.AddInt64(&w.retransmits, 1)
 		w.deliverData(src, dst, Message{Tag: tag, Data: env})
-		timeout *= 2
-		if timeout > w.retry.MaxTimeout {
-			timeout = w.retry.MaxTimeout
-		}
+		timeout = w.retry.next(timeout)
 	}
 }
 

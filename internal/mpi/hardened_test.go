@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -244,5 +245,59 @@ func TestRetryPolicyBudget(t *testing.T) {
 	}
 	if (RetryPolicy{}).Budget() <= 0 {
 		t.Fatal("default budget must be positive")
+	}
+}
+
+// TestRetryPolicyBackoffOverflow is the regression test for the backoff
+// doubling overflow: next() used to compute t*2 before comparing against
+// MaxTimeout, so a policy with BaseTimeout or MaxTimeout in the upper half
+// of the Duration range produced a negative wait — a timer that fires
+// immediately — and Budget() went negative with it. The cap must be applied
+// before doubling and Budget() must saturate instead of wrapping.
+func TestRetryPolicyBackoffOverflow(t *testing.T) {
+	huge := RetryPolicy{
+		BaseTimeout: math.MaxInt64/2 + 1,
+		MaxTimeout:  math.MaxInt64,
+		MaxAttempts: 64,
+	}
+	timeout := huge.BaseTimeout
+	for attempt := 1; attempt <= huge.MaxAttempts; attempt++ {
+		if timeout <= 0 {
+			t.Fatalf("attempt %d: wait %v is not positive", attempt, timeout)
+		}
+		if timeout > huge.MaxTimeout {
+			t.Fatalf("attempt %d: wait %v exceeds MaxTimeout", attempt, timeout)
+		}
+		timeout = huge.next(timeout)
+	}
+	if got := huge.Budget(); got != math.MaxInt64 {
+		t.Fatalf("extreme policy Budget() = %v, want saturation at MaxInt64", got)
+	}
+}
+
+// TestRetryPolicyBudgetMatchesSendLoop pins Budget() to the exact wait
+// schedule retransmitLoop follows: start at BaseTimeout, double-with-cap
+// after every attempt, one wait per attempt, MaxAttempts waits in total.
+func TestRetryPolicyBudgetMatchesSendLoop(t *testing.T) {
+	policies := []RetryPolicy{
+		{}, // defaults: 2+4+8+16+32 + 50*7 = 412ms
+		{BaseTimeout: 3 * time.Millisecond, MaxTimeout: 7 * time.Millisecond, MaxAttempts: 5}, // 3+6+7+7+7
+		{BaseTimeout: time.Millisecond, MaxTimeout: time.Millisecond, MaxAttempts: 1},
+		{BaseTimeout: 5 * time.Millisecond, MaxTimeout: 40 * time.Millisecond, MaxAttempts: 9},
+	}
+	for _, p := range policies {
+		eff := p.withDefaults()
+		var want time.Duration
+		timeout := eff.BaseTimeout // the schedule retransmitLoop walks
+		for attempt := 1; attempt <= eff.MaxAttempts; attempt++ {
+			want = satAddDur(want, timeout)
+			timeout = eff.next(timeout)
+		}
+		if got := p.Budget(); got != want {
+			t.Fatalf("policy %+v: Budget() = %v, want send-loop total %v", p, got, want)
+		}
+	}
+	if got, want := (RetryPolicy{}).Budget(), 412*time.Millisecond; got != want {
+		t.Fatalf("default Budget() = %v, want %v", got, want)
 	}
 }

@@ -95,6 +95,12 @@ type world struct {
 
 	// transport is the delivery seam; nil means direct in-process delivery.
 	transport Transport
+	// remote marks a multi-process world (remote.go): exactly one rank —
+	// self — lives in this process, and the collectives run over hardened
+	// point-to-point messages instead of the shared slot array.
+	remote bool
+	// self is the local rank of a remote world (unused otherwise).
+	self int
 	// hardened enables the envelope/ack/retransmit protocol (hardened.go).
 	hardened bool
 	retry    RetryPolicy
@@ -337,10 +343,19 @@ func (c *Comm) Recv(src, tag int) []byte {
 }
 
 // Barrier blocks until all ranks have entered it.
-func (c *Comm) Barrier() { c.w.barrier.wait() }
+func (c *Comm) Barrier() {
+	if c.w.remote {
+		c.remoteBarrier()
+		return
+	}
+	c.w.barrier.wait()
+}
 
 // Bcast distributes root's data to every rank and returns it.
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.w.remote {
+		return c.remoteBcast(root, data)
+	}
 	if c.rank == root {
 		c.w.slots[root] = data
 		c.account(len(data) * (c.w.size - 1))
@@ -355,6 +370,9 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 // payloads indexed by rank. The returned backing arrays are shared; treat
 // them as read-only.
 func (c *Comm) Allgather(data []byte) [][]byte {
+	if c.w.remote {
+		return c.remoteAllgather(data)
+	}
 	c.w.slots[c.rank] = data
 	c.account(len(data) * (c.w.size - 1))
 	c.Barrier()

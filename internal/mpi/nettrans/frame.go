@@ -1,0 +1,106 @@
+// Package nettrans carries the mpi runtime's hardened point-to-point frames
+// between real OS processes over stdlib net sockets — TCP loopback (or any
+// TCP network) and unix domain sockets. It implements mpi.RemoteTransport:
+// one process per rank, one unidirectional connection per directed rank pair
+// (the dialer writes, the accepter reads), every frame length-prefixed and
+// typed by a magic word. The envelope/ack reliability protocol above it is
+// unchanged — this package only moves opaque frames, so the clustering built
+// on top is byte-identical to the in-process transports.
+package nettrans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format, little-endian. Every frame starts with the same 16-byte
+// header so the reader never needs lookahead:
+//
+//	[0:4)   magic — which frame kind follows
+//	[4:12)  tag (int64): the mpi message tag for data frames, the sender's
+//	        rank for hello frames, zero otherwise
+//	[12:16) payload length; bytes [16:16+len) are the payload
+//
+// Frame kinds:
+//
+//	µHEL — connection handshake: the first frame on every connection,
+//	       identifying the dialing rank. No payload.
+//	µFRM — one mpi.Message (a hardened envelope or ack). The payload is the
+//	       message's Data, delivered verbatim to the remote ingress.
+//	µBYE — clean goodbye: the sender's world finished normally and is
+//	       closing this connection. EOF after µBYE is a normal exit.
+//	µDIE — abort goodbye: the sender's world aborted. The reader reports the
+//	       peer down, cascading the abort. EOF with *neither* goodbye means
+//	       the peer process vanished (killed, crashed, unplugged) and is
+//	       likewise reported down.
+//
+// The length field is validated against MaxFrame before any allocation: a
+// length-lying header (truncated stream, fuzzed input, protocol bug) is
+// rejected with an error, never a panic or an unbounded make. Payload bytes
+// that fail to arrive surface as io.ErrUnexpectedEOF from the reader.
+const (
+	helloMagic = 0xB548454C // "µHEL"
+	frameMagic = 0xB546524D // "µFRM"
+	byeMagic   = 0xB5425945 // "µBYE"
+	dieMagic   = 0xB5444945 // "µDIE"
+	headerLen  = 16
+)
+
+// DefaultMaxFrame bounds a frame payload when Config.MaxFrame is zero.
+// Larger frames are rejected on both sides: refused before allocation by the
+// reader, refused before transmission by the writer.
+const DefaultMaxFrame = 64 << 20
+
+var errBadMagic = errors.New("nettrans: unknown frame magic")
+
+// putHeader writes one frame header into b, which must hold headerLen bytes.
+func putHeader(b []byte, magic uint32, tag int64, n uint32) {
+	binary.LittleEndian.PutUint32(b[0:], magic)
+	binary.LittleEndian.PutUint64(b[4:], uint64(tag))
+	binary.LittleEndian.PutUint32(b[12:], n)
+}
+
+// encodeFrame builds a complete wire frame.
+func encodeFrame(magic uint32, tag int64, payload []byte) []byte {
+	b := make([]byte, headerLen+len(payload))
+	putHeader(b, magic, tag, uint32(len(payload)))
+	copy(b[headerLen:], payload)
+	return b
+}
+
+// readFrame reads one frame off r. It returns the frame's magic, tag and
+// payload, or an error: io.EOF for a stream that ends cleanly between
+// frames, io.ErrUnexpectedEOF for one that ends mid-frame, errBadMagic for
+// an unrecognized frame kind, and a descriptive error for a length prefix
+// exceeding maxFrame — checked before allocating, so a lying header cannot
+// balloon memory. No input, however truncated or corrupt, panics.
+func readFrame(r io.Reader, maxFrame int) (magic uint32, tag int64, payload []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	magic = binary.LittleEndian.Uint32(hdr[0:])
+	switch magic {
+	case helloMagic, frameMagic, byeMagic, dieMagic:
+	default:
+		return 0, 0, nil, errBadMagic
+	}
+	tag = int64(binary.LittleEndian.Uint64(hdr[4:]))
+	n := binary.LittleEndian.Uint32(hdr[12:])
+	if uint64(n) > uint64(maxFrame) {
+		return 0, 0, nil, fmt.Errorf("nettrans: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	if n == 0 {
+		return magic, tag, nil, nil
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return magic, tag, payload, nil
+}

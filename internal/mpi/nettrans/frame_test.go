@@ -1,0 +1,125 @@
+package nettrans
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		magic   uint32
+		tag     int64
+		payload []byte
+	}{
+		{helloMagic, 3, nil},
+		{frameMagic, -1099, []byte("ack bytes")},
+		{frameMagic, 1 << 40, bytes.Repeat([]byte{0xAB}, 4096)},
+		{byeMagic, 0, nil},
+		{dieMagic, 0, nil},
+		{frameMagic, 0, []byte{}},
+	}
+	for _, c := range cases {
+		buf := encodeFrame(c.magic, c.tag, c.payload)
+		magic, tag, payload, err := readFrame(bytes.NewReader(buf), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("magic %#x: %v", c.magic, err)
+		}
+		if magic != c.magic || tag != c.tag || !bytes.Equal(payload, c.payload) {
+			t.Fatalf("roundtrip mismatch: got (%#x, %d, %d bytes)", magic, tag, len(payload))
+		}
+	}
+}
+
+// TestReadFrameTruncated feeds every proper prefix of a valid frame: each
+// must produce a typed error — io.EOF only for the empty prefix, otherwise
+// io.ErrUnexpectedEOF — and none may panic.
+func TestReadFrameTruncated(t *testing.T) {
+	full := encodeFrame(frameMagic, 7, []byte("the payload"))
+	for n := 0; n < len(full); n++ {
+		_, _, _, err := readFrame(bytes.NewReader(full[:n]), DefaultMaxFrame)
+		if n == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix of %d bytes: err = %v, want io.ErrUnexpectedEOF", n, err)
+		}
+	}
+}
+
+// TestReadFrameLengthLying covers headers whose length field promises more
+// payload than the stream carries.
+func TestReadFrameLengthLying(t *testing.T) {
+	var hdr [headerLen]byte
+	putHeader(hdr[:], frameMagic, 1, 1000)
+	stream := append(hdr[:], []byte("only a little")...)
+	_, _, _, err := readFrame(bytes.NewReader(stream), DefaultMaxFrame)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReadFrameOversized proves a lying length prefix is rejected before any
+// allocation: the limit check must fire even though the stream could never
+// supply the bytes, and the 4GiB-1 extreme must not wrap the comparison.
+func TestReadFrameOversized(t *testing.T) {
+	for _, n := range []uint32{65, 1 << 30, 1<<32 - 1} {
+		var hdr [headerLen]byte
+		putHeader(hdr[:], frameMagic, 0, n)
+		_, _, _, err := readFrame(bytes.NewReader(hdr[:]), 64)
+		if err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("length %d: err = %v, want limit rejection", n, err)
+		}
+	}
+	// At exactly the limit the length is legal; the missing payload is a
+	// truncation, not a limit violation.
+	var hdr [headerLen]byte
+	putHeader(hdr[:], frameMagic, 0, 64)
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:]), 64); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("length at limit: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	var hdr [headerLen]byte
+	putHeader(hdr[:], 0xDEADBEEF, 0, 0)
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:]), DefaultMaxFrame); !errors.Is(err, errBadMagic) {
+		t.Fatalf("err = %v, want errBadMagic", err)
+	}
+}
+
+// FuzzFrameRead hammers the reassembly path with truncated, length-lying and
+// corrupt streams: readFrame must never panic, never allocate beyond the
+// frame limit, and anything it accepts must re-encode byte-identically.
+func FuzzFrameRead(f *testing.F) {
+	f.Add(encodeFrame(frameMagic, 42, []byte("hello world")))
+	f.Add(encodeFrame(helloMagic, 3, nil))
+	f.Add(encodeFrame(byeMagic, 0, nil))
+	f.Add(encodeFrame(dieMagic, 0, nil))
+	f.Add(encodeFrame(frameMagic, -1099, bytes.Repeat([]byte{1}, 100)))
+	f.Add(encodeFrame(frameMagic, 7, []byte("payload"))[:headerLen+3]) // truncated payload
+	f.Add(encodeFrame(frameMagic, 7, nil)[:5])                         // truncated header
+	lying := encodeFrame(frameMagic, 9, nil)
+	binary.LittleEndian.PutUint32(lying[12:], 1<<31) // length far beyond the stream and the limit
+	f.Add(lying)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 16
+		magic, tag, payload, err := readFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if len(payload) > limit {
+			t.Fatalf("accepted %d-byte payload beyond the %d limit", len(payload), limit)
+		}
+		re := encodeFrame(magic, tag, payload)
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatal("accepted frame does not re-encode to its input")
+		}
+	})
+}

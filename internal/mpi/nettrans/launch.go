@@ -1,0 +1,50 @@
+package nettrans
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+)
+
+// ReserveAddrs produces a peer address list for a p-rank world on the local
+// host, plus a cleanup function to call once the world is done.
+//
+// For "tcp" it asks the kernel for p free loopback ports by binding and
+// immediately closing :0 listeners. The reservation is advisory — another
+// process could grab a port in the window before the rank process rebinds it
+// — which is acceptable for the local launcher this feeds; tests that need
+// an airtight bind pass pre-bound listeners via Config.Listener instead.
+//
+// For "unix" it creates a private temporary directory of socket paths;
+// cleanup removes the directory.
+func ReserveAddrs(network string, p int) (addrs []string, cleanup func(), err error) {
+	if p < 1 {
+		return nil, nil, fmt.Errorf("nettrans: need at least 1 rank, got %d", p)
+	}
+	switch network {
+	case "tcp":
+		addrs = make([]string, p)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, fmt.Errorf("nettrans: reserving port for rank %d: %w", i, err)
+			}
+			addrs[i] = ln.Addr().String()
+			ln.Close()
+		}
+		return addrs, func() {}, nil
+	case "unix":
+		dir, err := os.MkdirTemp("", "mudbscan-ranks-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("nettrans: reserving socket dir: %w", err)
+		}
+		addrs = make([]string, p)
+		for i := range addrs {
+			addrs[i] = filepath.Join(dir, fmt.Sprintf("rank-%d.sock", i))
+		}
+		return addrs, func() { os.RemoveAll(dir) }, nil
+	default:
+		return nil, nil, fmt.Errorf("nettrans: network must be tcp or unix, got %q", network)
+	}
+}

@@ -1,0 +1,381 @@
+package nettrans
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mudbscan/internal/mpi"
+)
+
+// Config describes one rank's endpoint of a multi-process world.
+type Config struct {
+	// Network is "tcp" or "unix".
+	Network string
+	// Rank is the local rank in [0, len(Peers)).
+	Rank int
+	// Peers holds every rank's listen address, indexed by rank — host:port
+	// for tcp, a socket path for unix. All processes must agree on it.
+	Peers []string
+	// Listener optionally supplies a pre-bound listener for Peers[Rank]
+	// (tests bind :0 listeners first and derive Peers from them, eliminating
+	// the reserve/rebind race). Nil means listen on Peers[Rank].
+	Listener net.Listener
+	// MaxFrame bounds one frame's payload (0 = DefaultMaxFrame). Oversized
+	// inbound length prefixes are rejected before allocation; oversized
+	// outbound payloads panic, since they could never be delivered.
+	MaxFrame int
+	// DialTimeout bounds the first-contact rendezvous with a peer that has
+	// never been reachable yet (0 = 10s). Once a peer has been seen, redials
+	// are single-attempt so a killed process fails fast instead of consuming
+	// the rendezvous budget on every retransmission.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each socket write (0 = 5s). A write that cannot
+	// complete drops the frame — exactly a lossy link, which the hardened
+	// protocol's retransmission already covers.
+	WriteTimeout time.Duration
+}
+
+func (c Config) maxFrame() int {
+	if c.MaxFrame > 0 {
+		return c.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout > 0 {
+		return c.WriteTimeout
+	}
+	return 5 * time.Second
+}
+
+// outLink is the outbound connection to one peer. Its mutex serializes both
+// connection establishment and frame writes, so concurrent senders (rank
+// goroutine, retransmit goroutines, ack-producing read loops) never
+// interleave partial frames.
+type outLink struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Transport implements mpi.RemoteTransport over stdlib sockets. Each
+// directed rank pair uses its own connection: the dialer only writes, the
+// accepter only reads, and the reverse direction is the peer's own outbound
+// connection. Connections are established lazily on first send and
+// identified by a hello frame carrying the dialer's rank.
+type Transport struct {
+	cfg  Config
+	size int
+	ln   net.Listener
+
+	// bound is closed by Bind; read loops hold frames until then so nothing
+	// reaches a half-constructed world.
+	bound    chan struct{}
+	ingress  func(from int, m mpi.Message)
+	peerDown func(rank int)
+
+	// stop is closed by Shutdown and gates everything long-running.
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	out []*outLink
+
+	connMu  sync.Mutex
+	stopped bool
+	inbound []net.Conn
+
+	// Per-peer state, indexed by rank. seen flips once a handshake with the
+	// peer ever succeeded (either direction) and switches redials to
+	// fail-fast; clean records a µBYE so the following EOF is not a failure;
+	// downOnce deduplicates peer-down reports across multiple connections.
+	seen     []atomic.Bool
+	clean    []atomic.Bool
+	downOnce []sync.Once
+}
+
+var _ mpi.RemoteTransport = (*Transport)(nil)
+var _ mpi.Drainer = (*Transport)(nil)
+
+// New validates cfg, binds the local listener and starts accepting. The
+// transport is inert for delivery until Bind installs the world's callbacks.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Network != "tcp" && cfg.Network != "unix" {
+		return nil, fmt.Errorf("nettrans: network must be tcp or unix, got %q", cfg.Network)
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("nettrans: no peer addresses")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= len(cfg.Peers) {
+		return nil, fmt.Errorf("nettrans: rank %d outside peer list of length %d", cfg.Rank, len(cfg.Peers))
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen(cfg.Network, cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("nettrans: rank %d cannot listen on %s %s: %w", cfg.Rank, cfg.Network, cfg.Peers[cfg.Rank], err)
+		}
+	}
+	t := &Transport{
+		cfg:      cfg,
+		size:     len(cfg.Peers),
+		ln:       ln,
+		bound:    make(chan struct{}),
+		stop:     make(chan struct{}),
+		out:      make([]*outLink, len(cfg.Peers)),
+		seen:     make([]atomic.Bool, len(cfg.Peers)),
+		clean:    make([]atomic.Bool, len(cfg.Peers)),
+		downOnce: make([]sync.Once, len(cfg.Peers)),
+	}
+	for i := range t.out {
+		t.out[i] = &outLink{}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the local listen address (useful with a :0 listener).
+func (t *Transport) Addr() net.Addr { return t.ln.Addr() }
+
+// Bind implements mpi.RemoteTransport. Must be called exactly once, before
+// the world sends anything.
+func (t *Transport) Bind(ingress func(from int, m mpi.Message), peerDown func(rank int)) {
+	t.ingress = ingress
+	t.peerDown = peerDown
+	close(t.bound)
+}
+
+// Deliver implements mpi.Transport. Local deliveries short-circuit through
+// the callback; remote ones are framed and written to the peer's link. A
+// write or dial failure drops the frame silently — indistinguishable from a
+// lossy network, which the hardened protocol's retransmission (and, for a
+// dead peer, its retry budget plus the reader's EOF detection) covers.
+func (t *Transport) Deliver(from, to int, m mpi.Message, deliver func(mpi.Message)) {
+	if to == t.cfg.Rank {
+		deliver(m)
+		return
+	}
+	if to < 0 || to >= t.size {
+		return
+	}
+	if len(m.Data) > t.cfg.maxFrame() {
+		panic(fmt.Sprintf("nettrans: payload of %d bytes exceeds the %d-byte frame limit", len(m.Data), t.cfg.maxFrame()))
+	}
+	buf := encodeFrame(frameMagic, int64(m.Tag), m.Data)
+	l := t.out[to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		l.conn = t.dial(to)
+		if l.conn == nil {
+			return
+		}
+	}
+	if err := t.write(l.conn, buf); err != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+}
+
+// write sends buf under the configured write deadline.
+func (t *Transport) write(conn net.Conn, buf []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(t.cfg.writeTimeout())); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// dial establishes the outbound connection to rank `to` and performs the
+// hello handshake. First contact retries within DialTimeout (process
+// startup is not synchronized); once the peer has been seen, a single
+// attempt decides — a vanished peer must fail fast so the retry budget, not
+// the rendezvous budget, bounds kill detection.
+func (t *Transport) dial(to int) net.Conn {
+	deadline := time.Now().Add(t.cfg.dialTimeout())
+	for {
+		select {
+		case <-t.stop:
+			return nil
+		default:
+		}
+		d := net.Dialer{Timeout: time.Second}
+		conn, err := d.Dial(t.cfg.Network, t.cfg.Peers[to])
+		if err == nil {
+			if werr := t.write(conn, encodeFrame(helloMagic, int64(t.cfg.Rank), nil)); werr != nil {
+				conn.Close()
+				return nil
+			}
+			t.seen[to].Store(true)
+			return conn
+		}
+		if t.seen[to].Load() || time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// acceptLoop admits inbound connections until the listener closes.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !t.track(conn) {
+			conn.Close()
+			return
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// track registers an inbound connection for Shutdown to close, refusing it
+// when the transport is already stopping.
+func (t *Transport) track(conn net.Conn) bool {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.inbound = append(t.inbound, conn)
+	return true
+}
+
+// serveConn handshakes one inbound connection and pumps its frames into the
+// world. It owns the peer-liveness verdict for this connection: a µDIE or an
+// unannounced EOF reports the peer down (once per peer), a µBYE marks the
+// exit clean, and a local shutdown suppresses the verdict entirely.
+func (t *Transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	if err := conn.SetReadDeadline(time.Now().Add(t.cfg.dialTimeout())); err != nil {
+		conn.Close()
+		return
+	}
+	magic, tag, _, err := readFrame(conn, t.cfg.maxFrame())
+	if err != nil || magic != helloMagic {
+		conn.Close()
+		return
+	}
+	from := int(tag)
+	if from < 0 || from >= t.size || from == t.cfg.Rank {
+		conn.Close()
+		return
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return
+	}
+	t.seen[from].Store(true)
+
+	// Hold traffic until the world is wired up; frames queue in the socket.
+	select {
+	case <-t.bound:
+	case <-t.stop:
+		return
+	}
+	for {
+		magic, tag, payload, err := readFrame(conn, t.cfg.maxFrame())
+		if err != nil {
+			if !t.stopping() && !t.clean[from].Load() {
+				t.reportDown(from)
+			}
+			return
+		}
+		switch magic {
+		case frameMagic:
+			t.ingress(from, mpi.Message{Tag: int(tag), Data: payload})
+		case byeMagic:
+			t.clean[from].Store(true)
+		case dieMagic:
+			if !t.stopping() {
+				t.reportDown(from)
+			}
+			return
+		}
+	}
+}
+
+func (t *Transport) stopping() bool {
+	select {
+	case <-t.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t *Transport) reportDown(rank int) {
+	t.downOnce[rank].Do(func() { t.peerDown(rank) })
+}
+
+// Shutdown implements mpi.RemoteTransport: it announces the goodbye — µBYE
+// after a clean finish, µDIE after an abort, so peers distinguish the two —
+// closes every connection and the listener, and joins every goroutine the
+// transport started. Idempotent; the goodbye kind of the first call wins.
+func (t *Transport) Shutdown(clean bool) {
+	t.closeOnce.Do(func() {
+		close(t.stop)
+		magic := uint32(dieMagic)
+		if clean {
+			magic = byeMagic
+		}
+		goodbye := encodeFrame(magic, 0, nil)
+		for to, l := range t.out {
+			if to == t.cfg.Rank {
+				continue
+			}
+			l.mu.Lock()
+			if l.conn == nil && !clean {
+				// Dying with no link up yet: best-effort dial so peers that
+				// never heard from us still learn of the abort instead of
+				// waiting out their retry budgets.
+				if conn, err := net.DialTimeout(t.cfg.Network, t.cfg.Peers[to], time.Second); err == nil {
+					if t.write(conn, encodeFrame(helloMagic, int64(t.cfg.Rank), nil)) == nil {
+						l.conn = conn
+					} else {
+						conn.Close()
+					}
+				}
+			}
+			if l.conn != nil {
+				// Goodbye is best-effort: the conn is closing either way.
+				if err := t.write(l.conn, goodbye); err != nil {
+					_ = err
+				}
+				l.conn.Close()
+				l.conn = nil
+			}
+			l.mu.Unlock()
+		}
+		t.ln.Close()
+		t.connMu.Lock()
+		t.stopped = true
+		conns := t.inbound
+		t.inbound = nil
+		t.connMu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		t.wg.Wait()
+	})
+}
+
+// Drain implements mpi.Drainer as a clean Shutdown, for callers that only
+// know the generic transport seam.
+func (t *Transport) Drain() { t.Shutdown(true) }

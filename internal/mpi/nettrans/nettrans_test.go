@@ -1,0 +1,402 @@
+package nettrans
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mudbscan/internal/mpi"
+)
+
+// newWorldTransports builds p connected transports over pre-bound loopback
+// listeners — the airtight variant of ReserveAddrs — and registers a cleanup
+// that drains them all.
+func newWorldTransports(t *testing.T, network string, p int) []*Transport {
+	t.Helper()
+	lns := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := range lns {
+		var addr string
+		if network == "tcp" {
+			addr = "127.0.0.1:0"
+		} else {
+			addr = filepath.Join(t.TempDir(), fmt.Sprintf("r%d.sock", i))
+		}
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			t.Fatalf("listen %s: %v", network, err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]*Transport, p)
+	for i := range trs {
+		tr, err := New(Config{Network: network, Rank: i, Peers: addrs, Listener: lns[i]})
+		if err != nil {
+			t.Fatalf("New rank %d: %v", i, err)
+		}
+		trs[i] = tr
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Drain()
+		}
+	})
+	return trs
+}
+
+// recorder is a Bind target collecting everything a transport delivers.
+type recorder struct {
+	mu    sync.Mutex
+	msgs  []recordedMsg
+	downs []int
+}
+
+type recordedMsg struct {
+	from int
+	m    mpi.Message
+}
+
+func (r *recorder) bind(tr *Transport) {
+	tr.Bind(
+		func(from int, m mpi.Message) {
+			r.mu.Lock()
+			r.msgs = append(r.msgs, recordedMsg{from, m})
+			r.mu.Unlock()
+		},
+		func(rank int) {
+			r.mu.Lock()
+			r.downs = append(r.downs, rank)
+			r.mu.Unlock()
+		},
+	)
+}
+
+func (r *recorder) waitMsgs(t *testing.T, n int) []recordedMsg {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r.mu.Lock()
+		if len(r.msgs) >= n {
+			out := append([]recordedMsg(nil), r.msgs...)
+			r.mu.Unlock()
+			return out
+		}
+		r.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.Fatalf("got %d messages, want %d", len(r.msgs), n)
+	return nil
+}
+
+func (r *recorder) waitDown(t *testing.T, rank int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r.mu.Lock()
+		for _, d := range r.downs {
+			if d == rank {
+				r.mu.Unlock()
+				return
+			}
+		}
+		r.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("peerDown(%d) never fired", rank)
+}
+
+func (r *recorder) downCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.downs)
+}
+
+// TestLoopbackDeliver moves tagged frames both ways over each socket family
+// and checks content, tags (including the negative ack tag) and per-link
+// order.
+func TestLoopbackDeliver(t *testing.T) {
+	for _, network := range []string{"tcp", "unix"} {
+		t.Run(network, func(t *testing.T) {
+			trs := newWorldTransports(t, network, 2)
+			var rec0, rec1 recorder
+			rec0.bind(trs[0])
+			rec1.bind(trs[1])
+
+			for i := 0; i < 50; i++ {
+				trs[0].Deliver(0, 1, mpi.Message{Tag: i, Data: []byte(fmt.Sprintf("fwd %d", i))}, nil)
+			}
+			trs[1].Deliver(1, 0, mpi.Message{Tag: -1099, Data: nil}, nil)
+
+			fwd := rec1.waitMsgs(t, 50)
+			for i, rm := range fwd {
+				if rm.from != 0 || rm.m.Tag != i || string(rm.m.Data) != fmt.Sprintf("fwd %d", i) {
+					t.Fatalf("frame %d: got from=%d tag=%d data=%q", i, rm.from, rm.m.Tag, rm.m.Data)
+				}
+			}
+			back := rec0.waitMsgs(t, 1)
+			if back[0].from != 1 || back[0].m.Tag != -1099 || len(back[0].m.Data) != 0 {
+				t.Fatalf("reverse frame: got from=%d tag=%d", back[0].from, back[0].m.Tag)
+			}
+
+			for _, tr := range trs {
+				tr.Shutdown(true)
+			}
+			if rec0.downCount() != 0 || rec1.downCount() != 0 {
+				t.Fatal("clean shutdown reported a peer down")
+			}
+		})
+	}
+}
+
+// TestSelfDeliverShortCircuits proves a local delivery never touches a
+// socket: it runs inline through the callback.
+func TestSelfDeliverShortCircuits(t *testing.T) {
+	trs := newWorldTransports(t, "tcp", 1)
+	var got mpi.Message
+	trs[0].Deliver(0, 0, mpi.Message{Tag: 5, Data: []byte("loop")}, func(m mpi.Message) { got = m })
+	if got.Tag != 5 || string(got.Data) != "loop" {
+		t.Fatalf("self delivery got %+v", got)
+	}
+}
+
+// TestAbortGoodbyeCascades: a transport shut down uncleanly must tell its
+// peers, including peers it never sent a data frame to — that dial-on-death
+// is what lets a failing rank abort a world that barely started.
+func TestAbortGoodbyeCascades(t *testing.T) {
+	for _, establish := range []bool{true, false} {
+		t.Run(fmt.Sprintf("established=%v", establish), func(t *testing.T) {
+			trs := newWorldTransports(t, "tcp", 2)
+			var rec0, rec1 recorder
+			rec0.bind(trs[0])
+			rec1.bind(trs[1])
+			if establish {
+				trs[0].Deliver(0, 1, mpi.Message{Tag: 1, Data: []byte("hi")}, nil)
+				rec1.waitMsgs(t, 1)
+			}
+			trs[0].Shutdown(false)
+			rec1.waitDown(t, 0)
+		})
+	}
+}
+
+// TestCleanGoodbyeIsSilent: a µBYE followed by EOF is a normal exit and must
+// not be reported as a lost peer.
+func TestCleanGoodbyeIsSilent(t *testing.T) {
+	trs := newWorldTransports(t, "unix", 2)
+	var rec0, rec1 recorder
+	rec0.bind(trs[0])
+	rec1.bind(trs[1])
+	trs[0].Deliver(0, 1, mpi.Message{Tag: 1, Data: []byte("hi")}, nil)
+	rec1.waitMsgs(t, 1)
+	trs[0].Shutdown(true)
+	time.Sleep(100 * time.Millisecond)
+	if n := rec1.downCount(); n != 0 {
+		t.Fatalf("clean goodbye produced %d peer-down reports", n)
+	}
+}
+
+// TestVanishedPeerReportsDown simulates a killed process: a connection that
+// handshook and then hit EOF without any goodbye.
+func TestVanishedPeerReportsDown(t *testing.T) {
+	trs := newWorldTransports(t, "tcp", 2)
+	var rec0 recorder
+	rec0.bind(trs[0])
+
+	conn, err := net.Dial("tcp", trs[0].Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(encodeFrame(helloMagic, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(encodeFrame(frameMagic, 2, []byte("last words"))); err != nil {
+		t.Fatal(err)
+	}
+	rec0.waitMsgs(t, 1)
+	conn.Close() // SIGKILL's view from the survivor: EOF, no goodbye
+	rec0.waitDown(t, 1)
+}
+
+// TestOversizedInboundFrameRejected: a length-lying header must not balloon
+// memory or crash the reader; the offending connection's peer is reported
+// down and the transport keeps serving others.
+func TestOversizedInboundFrameRejected(t *testing.T) {
+	lns := []net.Listener{mustListen(t), mustListen(t)}
+	addrs := []string{lns[0].Addr().String(), lns[1].Addr().String()}
+	tr, err := New(Config{Network: "tcp", Rank: 0, Peers: addrs, Listener: lns[0], MaxFrame: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Drain()
+	lns[1].Close()
+	var rec recorder
+	rec.bind(tr)
+
+	conn, err := net.Dial("tcp", tr.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(encodeFrame(helloMagic, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [headerLen]byte
+	putHeader(hdr[:], frameMagic, 0, 1<<31) // claims 2GiB
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	rec.waitDown(t, 1)
+	if got := rec.waitMsgs(t, 0); len(got) != 0 {
+		t.Fatalf("oversized frame delivered %d messages", len(got))
+	}
+}
+
+// TestDeliverOversizedPayloadPanics pins the writer-side guard.
+func TestDeliverOversizedPayloadPanics(t *testing.T) {
+	lns := []net.Listener{mustListen(t), mustListen(t)}
+	addrs := []string{lns[0].Addr().String(), lns[1].Addr().String()}
+	defer lns[1].Close()
+	tr, err := New(Config{Network: "tcp", Rank: 0, Peers: addrs, Listener: lns[0], MaxFrame: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized payload did not panic")
+		}
+	}()
+	tr.Deliver(0, 1, mpi.Message{Tag: 1, Data: make([]byte, 17)}, nil)
+}
+
+func mustListen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Network: "udp", Rank: 0, Peers: []string{"a"}}); err == nil {
+		t.Fatal("udp accepted")
+	}
+	if _, err := New(Config{Network: "tcp", Rank: 0}); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := New(Config{Network: "tcp", Rank: 2, Peers: []string{"a", "b"}}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestReserveAddrs(t *testing.T) {
+	for _, network := range []string{"tcp", "unix"} {
+		addrs, cleanup, err := ReserveAddrs(network, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", network, err)
+		}
+		if len(addrs) != 4 {
+			t.Fatalf("%s: %d addrs", network, len(addrs))
+		}
+		seen := make(map[string]bool)
+		for _, a := range addrs {
+			if a == "" || seen[a] {
+				t.Fatalf("%s: bad or duplicate address %q", network, a)
+			}
+			seen[a] = true
+		}
+		cleanup()
+	}
+	if _, _, err := ReserveAddrs("tcp", 0); err == nil {
+		t.Fatal("0 ranks accepted")
+	}
+}
+
+// TestShutdownJoinsEverything is the transport-leak regression test: after
+// Shutdown returns, every goroutine and socket the transport started must be
+// gone — on the abort path too, which is how a RankLostError world exits.
+func TestShutdownJoinsEverything(t *testing.T) {
+	for _, clean := range []bool{true, false} {
+		t.Run(fmt.Sprintf("clean=%v", clean), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			trs := newWorldTransports(t, "tcp", 4)
+			recs := make([]recorder, 4)
+			for i, tr := range trs {
+				recs[i].bind(tr)
+			}
+			for from, tr := range trs {
+				for to := range trs {
+					if to == from {
+						continue
+					}
+					tr.Deliver(from, to, mpi.Message{Tag: 1, Data: []byte("x")}, nil)
+				}
+			}
+			for i := range recs {
+				recs[i].waitMsgs(t, 3)
+			}
+			for _, tr := range trs {
+				tr.Shutdown(clean)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if now := runtime.NumGoroutine(); now > before {
+				buf := make([]byte, 1<<20)
+				t.Fatalf("goroutines leaked: %d -> %d\n%s", before, now, buf[:runtime.Stack(buf, true)])
+			}
+		})
+	}
+}
+
+// TestRunRemoteOverSockets is the in-package end-to-end: a 4-rank world over
+// real TCP loopback running sends, a barrier, and an allgather through the
+// full hardened protocol.
+func TestRunRemoteOverSockets(t *testing.T) {
+	for _, network := range []string{"tcp", "unix"} {
+		t.Run(network, func(t *testing.T) {
+			const p = 4
+			trs := newWorldTransports(t, network, p)
+			var wg sync.WaitGroup
+			errs := make([]error, p)
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					_, errs[r] = mpi.RunRemote(mpi.RemoteOptions{Rank: r, Size: p, Transport: trs[r]},
+						func(c *mpi.Comm) error {
+							next := (c.Rank() + 1) % p
+							prev := (c.Rank() + p - 1) % p
+							c.Send(next, 8, mpi.EncodeInt64s([]int64{int64(c.Rank())}))
+							if got := mpi.DecodeInt64s(c.Recv(prev, 8))[0]; got != int64(prev) {
+								return fmt.Errorf("ring got %d want %d", got, prev)
+							}
+							c.Barrier()
+							all := c.Allgather(mpi.EncodeInt64s([]int64{int64(c.Rank() * 3)}))
+							for src, b := range all {
+								if got := mpi.DecodeInt64s(b)[0]; got != int64(src*3) {
+									return fmt.Errorf("allgather from %d got %d", src, got)
+								}
+							}
+							return nil
+						})
+				}(r)
+			}
+			wg.Wait()
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// RemoteTransport is a Transport whose other endpoints live in different OS
+// processes. Deliver pushes a frame toward a remote rank (or hands it to the
+// local deliver callback when to == the local rank); Bind registers the two
+// callbacks the runtime needs from the receive side before any frame may be
+// dispatched:
+//
+//   - ingress fires once per frame that arrives for the local rank, with the
+//     source rank and the frame. It is invoked from the transport's receive
+//     goroutines and must be safe for concurrent use per source.
+//   - peerDown fires when a peer becomes unreachable before announcing a
+//     clean shutdown — its connection broke without the transport's goodbye
+//     handshake. It may fire at most once per peer and never after Drain.
+//
+// Shutdown closes the transport: it announces a goodbye to every connected
+// peer — a clean one after a normal finish, an abort announcement otherwise,
+// which is how world aborts propagate between processes without a new
+// acknowledged exchange — then closes every socket and joins every receive
+// goroutine. RunRemote always calls it on the way out, clean exit or not, so
+// sockets and goroutines never outlive the world. Shutdown must be
+// idempotent; transports should also implement Drainer as Shutdown(true).
+type RemoteTransport interface {
+	Transport
+	Bind(ingress func(from int, m Message), peerDown func(rank int))
+	Shutdown(clean bool)
+}
+
+// Reserved tags of the remote collectives (remote worlds rebuild Barrier,
+// Bcast and Allgather from hardened point-to-point messages; the shared
+// slot-and-barrier implementations need every rank in one process).
+const (
+	remoteBarrierTag   = -1091
+	remoteBcastTag     = -1092
+	remoteAllgatherTag = -1093
+)
+
+// RemoteOptions configures RunRemote.
+type RemoteOptions struct {
+	// Rank is the local rank in [0, Size).
+	Rank int
+	// Size is the world size; the other Size-1 ranks run in other processes.
+	Size int
+	// Transport carries every frame between processes. Required.
+	Transport RemoteTransport
+	// Retry bounds the hardened retransmission loop (zero value = defaults).
+	// All processes of one world must agree on it: Budget() is the kill
+	// detection bound the caller may rely on.
+	Retry RetryPolicy
+	// Linger keeps the receive side responsive for this long after a clean
+	// finish, re-acknowledging retransmitted envelopes whose original acks a
+	// lossy transport dropped. Zero is correct for loss-free links (TCP, unix
+	// sockets); fault-injection tests set it to Retry.Budget() so a peer
+	// whose final ack was eaten can still complete within its budget.
+	Linger time.Duration
+}
+
+// RunRemote executes fn as one rank of a multi-process world. Unlike Run,
+// which spawns every rank as a goroutine, exactly one rank lives in this
+// process; the rest are reached through opts.Transport. The protocol is
+// always hardened — sequence-numbered, checksummed, acknowledged,
+// retransmitted — because a real network can reorder connection teardown
+// against data and because kill detection (RankLostError within
+// Retry.Budget()) is built on the ack timeout.
+//
+// The returned Stats hold this process's counters only (BytesSent/MsgsSent
+// are populated at the local rank's index); distributed aggregation is the
+// caller's job.
+func RunRemote(opts RemoteOptions, fn func(c *Comm) error) (Stats, error) {
+	p := opts.Size
+	if p < 1 {
+		return Stats{}, fmt.Errorf("mpi: need at least 1 rank, got %d", p)
+	}
+	if opts.Rank < 0 || opts.Rank >= p {
+		return Stats{}, fmt.Errorf("mpi: rank %d outside world of size %d", opts.Rank, p)
+	}
+	if opts.Transport == nil {
+		return Stats{}, fmt.Errorf("mpi: RunRemote needs a transport")
+	}
+	self := opts.Rank
+	w := &world{
+		size:      p,
+		chans:     make([]chan message, p*p),
+		abort:     make(chan struct{}),
+		bytes:     make([]int64, p),
+		msgs:      make([]int64, p),
+		transport: opts.Transport,
+		remote:    true,
+		self:      self,
+		hardened:  true,
+		retry:     opts.Retry.withDefaults(),
+		links:     newLinks(p),
+	}
+	for i := range w.chans {
+		w.chans[i] = make(chan message, 1024)
+	}
+	opts.Transport.Bind(
+		func(from int, m Message) {
+			if from < 0 || from >= p || from == self {
+				return
+			}
+			if m.Tag == ackTag {
+				w.receiveAck(self, from, m)
+				return
+			}
+			w.receiveEnvelope(from, self, m)
+		},
+		func(rank int) {
+			w.doAbort(&RankLostError{Rank: rank, From: self, Attempts: 0})
+		},
+	)
+
+	var runErr error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				switch v := rec.(type) {
+				case errAbort:
+					runErr = v
+				case *RankLostError:
+					runErr = v
+					w.doAbort(v)
+				default:
+					runErr = fmt.Errorf("mpi: rank %d panicked: %v", self, rec)
+					w.doAbort(rec)
+				}
+			}
+		}()
+		if err := fn(&Comm{rank: self, w: w}); err != nil {
+			runErr = err
+			w.doAbort(err)
+		}
+	}()
+
+	// Clean finish: quiesce our own unacked sends first — the transport's
+	// receive side must stay up until the last ack lands — then optionally
+	// linger to re-ack peers' retransmissions. Both waits are bounded: a peer
+	// dying here exhausts some retransmit budget, which aborts the world and
+	// releases every retransmit goroutine.
+	if runErr == nil {
+		w.inflight.Wait()
+		if opts.Linger > 0 {
+			timer := time.NewTimer(opts.Linger)
+			select {
+			case <-timer.C:
+			case <-w.abort:
+				timer.Stop()
+			}
+		}
+	}
+	// Shut the transport down unconditionally — on the abort path this is
+	// what closes the sockets and joins the receive goroutines a lost rank
+	// would otherwise leak. The goodbye kind tells surviving peers whether we
+	// finished or went down, so an abort cascades instead of wedging them.
+	clean := runErr == nil
+	select {
+	case <-w.abort:
+		clean = false
+	default:
+	}
+	opts.Transport.Shutdown(clean)
+	w.inflight.Wait()
+	st := w.statsSnapshot()
+
+	// Error selection mirrors RunWithOptions: prefer a non-abort error, then
+	// a typed stored cause (e.g. the RankLostError a retransmit goroutine or
+	// the transport's peer-down detector raised), then whatever remains.
+	if runErr != nil {
+		if _, isAbort := runErr.(errAbort); !isAbort {
+			return st, runErr
+		}
+	}
+	if c, ok := w.cause.Load().(error); ok && runErr != nil {
+		if _, isAbort := c.(errAbort); !isAbort {
+			return st, c
+		}
+	}
+	return st, runErr
+}
+
+// sendControl transmits a zero-accounted control frame on the hardened path.
+// Collective-internal traffic uses it so a remote world's BytesSent/MsgsSent
+// stay comparable to the in-process world, whose Barrier exchanges no
+// messages at all.
+func (c *Comm) sendControl(dst, tag int, data []byte) {
+	c.w.startHardenedSend(c.rank, dst, tag, data)
+}
+
+// remoteBarrier blocks until all ranks entered the barrier, with rank 0
+// coordinating: everyone reports in, then rank 0 releases everyone. Like the
+// in-process barrier it accounts nothing.
+func (c *Comm) remoteBarrier() {
+	if c.w.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for src := 1; src < c.w.size; src++ {
+			c.Recv(src, remoteBarrierTag)
+		}
+		for dst := 1; dst < c.w.size; dst++ {
+			c.sendControl(dst, remoteBarrierTag, nil)
+		}
+		return
+	}
+	c.sendControl(0, remoteBarrierTag, nil)
+	c.Recv(0, remoteBarrierTag)
+}
+
+// remoteBcast distributes root's data with direct sends. Accounting matches
+// the in-process Bcast: the root books len(data)*(size-1) bytes as one
+// logical message.
+func (c *Comm) remoteBcast(root int, data []byte) []byte {
+	if c.w.size == 1 {
+		return data
+	}
+	if c.rank == root {
+		c.account(len(data) * (c.w.size - 1))
+		for dst := 0; dst < c.w.size; dst++ {
+			if dst == root {
+				continue
+			}
+			c.sendControl(dst, remoteBcastTag, data)
+		}
+		return data
+	}
+	return c.Recv(root, remoteBcastTag)
+}
+
+// remoteAllgather exchanges every rank's payload pairwise. Sends are
+// fire-and-forget on the hardened path, so posting all of them before the
+// first receive cannot deadlock. Accounting matches the in-process
+// Allgather: len(data)*(size-1) bytes as one logical message.
+func (c *Comm) remoteAllgather(data []byte) [][]byte {
+	out := make([][]byte, c.w.size)
+	out[c.rank] = data
+	if c.w.size == 1 {
+		return out
+	}
+	c.account(len(data) * (c.w.size - 1))
+	for dst := 0; dst < c.w.size; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		c.sendControl(dst, remoteAllgatherTag, data)
+	}
+	for src := 0; src < c.w.size; src++ {
+		if src == c.rank {
+			continue
+		}
+		out[src] = c.Recv(src, remoteAllgatherTag)
+	}
+	return out
+}
