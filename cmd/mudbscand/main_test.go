@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mudbscan"
+	"mudbscan/internal/data"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/server"
+)
+
+// startDaemon runs an in-process daemon on loopback for the CLI tests (the
+// serve subcommand itself is signal-driven, so tests exercise the same
+// server through the library entry point).
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Workers: 2})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func csvFor(t *testing.T) (string, [][]float64) {
+	t.Helper()
+	cc := data.ConformanceCases()[0]
+	var sb strings.Builder
+	rows := make([][]float64, len(cc.Pts))
+	for i, p := range cc.Pts {
+		rows[i] = p
+		for j, v := range p {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%g", v)
+		}
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, rows
+}
+
+func TestClusterSubcommandMatchesLibrary(t *testing.T) {
+	addr := startDaemon(t)
+	path, rows := csvFor(t)
+	cc := data.ConformanceCases()[0]
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"cluster", "-addr", addr, "-eps", fmt.Sprint(cc.Eps),
+		"-minpts", fmt.Sprint(cc.MinPts), "-engine", "seq", "-in", path},
+		strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("cluster: %v (stderr: %s)", err, stderr.String())
+	}
+	want, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, line := range strings.Fields(stdout.String()) {
+		var l int
+		fmt.Sscan(line, &l)
+		got = append(got, l)
+	}
+	if !reflect.DeepEqual(want.Labels, got) {
+		t.Fatal("daemon-served labels differ from direct library call")
+	}
+}
+
+func TestPingStatsAndQuerySubcommands(t *testing.T) {
+	addr := startDaemon(t)
+	path, _ := csvFor(t)
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"ping", "-addr", addr}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if strings.TrimSpace(stdout.String()) != "ok" {
+		t.Fatalf("ping printed %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if err := run([]string{"query", "-addr", addr, "-eps", "0.5", "-minpts", "5",
+		"-point", "10,10,10", "-in", path}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+
+	// A malformed -point coordinate is a usage error even though it is only
+	// parsed after the dataset upload.
+	var perr bytes.Buffer
+	err := run([]string{"query", "-addr", addr, "-eps", "0.5", "-minpts", "5",
+		"-point", "1,x,3", "-in", path}, strings.NewReader(""), &stdout, &perr)
+	if code := exitCode(err, &perr); code != 2 {
+		t.Fatalf("bad -point coordinate exited %d, want 2", code)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"stats", "-addr", addr}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	// puts 2: the failed bad-point query still uploads before parsing.
+	if !strings.Contains(stdout.String(), "puts 2") || !strings.Contains(stdout.String(), "pings 1") {
+		t.Fatalf("stats output missing counters:\n%s", stdout.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the serve goroutine to write while
+// the test polls for the readiness line.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncBuffer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncBuffer) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestServeSubcommand runs the real serve loop: wait for the readiness
+// line, serve a ping through it, then deliver SIGINT and require a clean,
+// error-free shutdown.
+func TestServeSubcommand(t *testing.T) {
+	var out, errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "1"},
+			strings.NewReader(""), &out, &errOut)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "tcp://"); i >= 0 && strings.Contains(s[i:], "\n") {
+			line := s[i+len("tcp://"):]
+			addr = strings.TrimSpace(line[:strings.Index(line, "\n")])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no readiness line within 5s; stdout %q stderr %q", out.String(), errOut.String())
+	}
+
+	var pout, perr bytes.Buffer
+	if err := run([]string{"ping", "-addr", addr}, strings.NewReader(""), &pout, &perr); err != nil {
+		t.Fatalf("ping against serve subcommand: %v", err)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down within 5s of SIGINT")
+	}
+}
+
+// TestClusterFromBinaryToFile covers the .bin reader and the -out writer.
+func TestClusterFromBinaryToFile(t *testing.T) {
+	addr := startDaemon(t)
+	cc := data.ConformanceCases()[0]
+	dir := t.TempDir()
+	in := filepath.Join(dir, "pts.bin")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geom.Point, len(cc.Pts))
+	copy(pts, cc.Pts)
+	if err := data.WriteBinary(f, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "labels.txt")
+	var stdout, stderr bytes.Buffer
+	err = run([]string{"cluster", "-addr", addr, "-eps", fmt.Sprint(cc.Eps),
+		"-minpts", fmt.Sprint(cc.MinPts), "-engine", "seq", "-in", in, "-out", outPath},
+		strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("cluster: %v (stderr: %s)", err, stderr.String())
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Fields(string(b))); got != len(cc.Pts) {
+		t.Fatalf("-out file holds %d labels, want %d", got, len(cc.Pts))
+	}
+}
+
+// TestRuntimeErrorsExitOne: failures of the run, not the invocation, must
+// exit 1 — an unreachable daemon and a missing input file.
+func TestRuntimeErrorsExitOne(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	addr := startDaemon(t)
+	cases := [][]string{
+		{"ping", "-addr", dead},
+		{"cluster", "-addr", addr, "-eps", "1", "-in", filepath.Join(t.TempDir(), "nope.csv")},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(args, strings.NewReader(""), &stdout, &stderr)
+		if code := exitCode(err, &stderr); code != 1 {
+			t.Fatalf("args %v: exit code %d, want 1 (err %v)", args, code, err)
+		}
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"help"}, strings.NewReader(""), &stdout, &stderr)
+	if code := exitCode(err, &stderr); code != 0 {
+		t.Fatalf("help exited %d, want 0", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"warp"},
+		{"cluster"},                             // missing -addr
+		{"cluster", "-addr", "x", "-eps", "-1"}, // eps validated before dialing
+		{"cluster", "-addr", "x", "-eps", "1", "-engine", "warp"},
+		{"query", "-addr", "x", "-eps", "1"}, // missing -point
+		{"serve", "-net", "carrier-pigeon"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(args, strings.NewReader(""), &stdout, &stderr)
+		if code := exitCode(err, &stderr); code != 2 {
+			t.Fatalf("args %v: exit code %d, want 2 (err %v)", args, code, err)
+		}
+	}
+}

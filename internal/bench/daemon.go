@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"mudbscan/internal/server"
+)
+
+// Daemon measures the clustering-as-a-service layer end to end: an
+// in-process mudbscand server on a loopback TCP socket, driven through the
+// same client codec the CLI uses, so every number includes framing and the
+// socket round trip.
+//
+// The first table is the result cache's value proposition per engine: the
+// cold column is a full clustering job (upload already done — content
+// addressing makes re-uploads free), the cached column is the same job
+// replayed once the result cache is warm, and the speedup is what the second
+// and every later tenant asking the same question pays. The second table
+// sweeps concurrent tenants issuing steady-state ε-queries — the daemon's
+// zero-allocation serving path — and reports aggregate throughput. The
+// closing lines print the daemon's own accounting for the whole run, the
+// same counters the stats subcommand surfaces.
+func Daemon(cfg Config) error {
+	cfg = cfg.withDefaults()
+	s := spec3DSRN
+	pts := s.Points(cfg.Scale)
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = p
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{Workers: runtime.GOMAXPROCS(0)})
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	cl, err := server.Dial("tcp", addr, "bench")
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	id, err := cl.Put(rows)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(cfg.Out, "daemon-served clustering, %s (n=%d), cold job vs cached replay\n",
+		s.ScaledName(cfg.Scale), len(pts))
+	t := newTable(cfg.Out)
+	t.row("Engine", "cold(ms)", "cached(ms)", "speedup")
+	engines := []struct {
+		name  string
+		e     server.Engine
+		param int
+	}{
+		{"seq", server.EngineSeq, 0},
+		{"shared", server.EngineShared, runtime.GOMAXPROCS(0)},
+		{"dist", server.EngineDist, 4},
+		{"stream", server.EngineStream, 0},
+	}
+	const replays = 16
+	for _, eng := range engines {
+		var cold time.Duration
+		err := error(nil)
+		cold = timed(func() {
+			_, err = cl.Cluster(id, s.Eps, s.MinPts, eng.e, eng.param)
+		})
+		if err != nil {
+			return fmt.Errorf("%s cold job: %w", eng.name, err)
+		}
+		cached := timed(func() {
+			for i := 0; i < replays; i++ {
+				if _, e := cl.Cluster(id, s.Eps, s.MinPts, eng.e, eng.param); e != nil {
+					err = e
+				}
+			}
+		}) / replays
+		if err != nil {
+			return fmt.Errorf("%s cached replay: %w", eng.name, err)
+		}
+		t.row(eng.name, millis(cold), millis(cached),
+			fmt.Sprintf("%.1fx", float64(cold)/float64(maxDuration(cached, time.Nanosecond))))
+	}
+	t.flush()
+
+	// Steady-state ε-query serving: each tenant runs its own connection and
+	// issues synchronous round trips, so throughput scales with tenants until
+	// the loopback or the lock on the shared index wins.
+	const queriesPerTenant = 500
+	fmt.Fprintf(cfg.Out, "\nsteady-state ε-query serving (%d queries per tenant)\n", queriesPerTenant)
+	t = newTable(cfg.Out)
+	t.row("Tenants", "wall(ms)", "queries/s")
+	for _, tenants := range []int{1, 2, 4} {
+		clients := make([]*server.Client, tenants)
+		for i := range clients {
+			c, err := server.Dial("tcp", addr, fmt.Sprintf("tenant%d", i))
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			if _, err := c.Put(rows); err != nil { // free: content-addressed
+				return err
+			}
+			clients[i] = c
+		}
+		// One warm-up query builds the μR-tree index before the clock starts.
+		if _, err := clients[0].EpsQuery(id, s.Eps, s.MinPts, rows[0]); err != nil {
+			return err
+		}
+		errs := make(chan error, tenants)
+		wall := timed(func() {
+			var wg sync.WaitGroup
+			for ti, c := range clients {
+				wg.Add(1)
+				go func(ti int, c *server.Client) {
+					defer wg.Done()
+					for q := 0; q < queriesPerTenant; q++ {
+						pt := rows[(ti*7919+q*17)%len(rows)]
+						if _, err := c.EpsQuery(id, s.Eps, s.MinPts, pt); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(ti, c)
+			}
+			wg.Wait()
+		})
+		close(errs)
+		if err := <-errs; err != nil {
+			return err
+		}
+		total := float64(tenants * queriesPerTenant)
+		t.row(fmt.Sprint(tenants), millis(wall),
+			fmt.Sprintf("%.0f", total/wall.Seconds()))
+	}
+	t.flush()
+
+	st := srv.Stats()
+	fmt.Fprintf(cfg.Out, "\ndaemon accounting: jobs=%d (completed %d), result cache %d hits / %d misses, ε-queries=%d, bad frames=%d\n",
+		st.JobsAccepted, st.JobsCompleted, st.ResultHits, st.ResultMisses, st.EpsQueries, st.BadFrames)
+	return nil
+}
+
+// millis formats a duration in milliseconds with two decimals.
+func millis(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

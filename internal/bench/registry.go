@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"ablations", "design-choice ablations (DESIGN.md §5)", Ablations},
 		{"kernels", "flattened hot-path layout vs legacy (kernel + block-scan speedups)", Kernels},
 		{"chaos", "hardened-transport overhead and fault absorption (DESIGN.md §11)", Chaos},
+		{"daemon", "clustering-as-a-service cold/cached jobs and ε-query serving (DESIGN.md §14)", Daemon},
 	}
 }
 

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/geom"
+)
+
+// TestArenaReuseAcrossRuns pins the lend/return lifetime: a run borrows the
+// arena's buffers, returns them grown, and a second run over the same data
+// starts warm — identical clustering, no fresh query-scratch growth.
+func TestArenaReuseAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pts := make([]geom.Point, 1500)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	arena := &Arena{}
+	opts := Options{Arena: arena}
+	first, _ := Run(pts, 0.5, 5, opts)
+	if cap(arena.Nbhd) == 0 || cap(arena.Inner) == 0 {
+		t.Fatalf("run did not return grown scratch: nbhd cap=%d inner cap=%d",
+			cap(arena.Nbhd), cap(arena.Inner))
+	}
+	warmNbhd, warmInner := cap(arena.Nbhd), cap(arena.Inner)
+	second, _ := Run(pts, 0.5, 5, opts)
+	if err := clustering.Equivalent(first, second); err != nil {
+		t.Fatalf("arena reuse changed the clustering: %v", err)
+	}
+	if cap(arena.Nbhd) != warmNbhd || cap(arena.Inner) != warmInner {
+		t.Fatalf("warm scratch grew again: nbhd %d -> %d, inner %d -> %d",
+			warmNbhd, cap(arena.Nbhd), warmInner, cap(arena.Inner))
+	}
+}
+
+// TestArenaOptionalAndIsolated: a nil arena keeps the historical per-run
+// scratch, and two sequentially lent arenas do not alias each other.
+func TestArenaOptionalAndIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	pts := make([]geom.Point, 600)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 6, rng.Float64() * 6}
+	}
+	want, _ := Run(pts, 0.5, 4, Options{})
+	a, b := &Arena{}, &Arena{}
+	ra, _ := Run(pts, 0.5, 4, Options{Arena: a})
+	rb, _ := Run(pts, 0.5, 4, Options{Arena: b})
+	for name, r := range map[string]*clustering.Result{"a": ra, "b": rb} {
+		if err := clustering.Equivalent(want, r); err != nil {
+			t.Fatalf("arena %s: %v", name, err)
+		}
+	}
+	if cap(a.Nbhd) == 0 || cap(b.Nbhd) == 0 {
+		t.Fatal("arenas not warmed")
+	}
+	if len(a.Nbhd) > 0 && len(b.Nbhd) > 0 && &a.Nbhd[:1][0] == &b.Nbhd[:1][0] {
+		t.Fatal("two arenas share a buffer")
+	}
+}

@@ -49,6 +49,11 @@ type Options struct {
 	// WholeSpaceQueries ignores the reachable lists and queries every MC's
 	// auxiliary tree (still MBR-pruned).
 	WholeSpaceQueries bool
+	// Arena lends the run caller-owned query scratch in place of fresh
+	// buffers; the run returns the grown buffers to it on completion, so a
+	// worker running many jobs keeps its scratch warm across them. Nil
+	// (the default) allocates per-run scratch as before.
+	Arena *Arena
 }
 
 // StepTimes records the wall-clock split of a run over the paper's four
@@ -233,6 +238,7 @@ func (lb *LocalBuild) Finish(haloPts []geom.Point) *LocalResult {
 	r.postProcessNoise()
 	st.Steps.PostProcessing = time.Since(start)
 
+	r.releaseScratch()
 	st.Queries = localCount - st.QueriesSaved
 	comp := make([]int32, n)
 	for i := range comp {
@@ -320,7 +326,7 @@ type noiseEntry struct {
 
 func newRun(set *geom.PointSet, eps float64, minPts, localCount int, ix *mc.Index, opts Options, st *Stats) *run {
 	n := set.Len()
-	return &run{
+	r := &run{
 		set: set, kern: geom.KernelFor(set.Dim()),
 		eps: eps, minPts: minPts, localCount: localCount,
 		ix: ix, opts: opts, st: st,
@@ -330,6 +336,20 @@ func newRun(set *geom.PointSet, eps float64, minPts, localCount int, ix *mc.Inde
 		assigned: make([]bool, n),
 		queried:  make([]bool, n),
 		mcWhole:  make([]bool, ix.NumMCs()),
+	}
+	if a := opts.Arena; a != nil {
+		r.nbhd, r.inner = a.Nbhd[:0], a.Inner[:0]
+	}
+	return r
+}
+
+// releaseScratch hands the run's (possibly grown) query scratch back to the
+// lent arena, closing the borrow that newRun opened. The buffers hold no
+// live data — every value that outlives a query was copied out — so the next
+// run may overwrite them freely.
+func (r *run) releaseScratch() {
+	if a := r.opts.Arena; a != nil {
+		a.Nbhd, a.Inner = r.nbhd, r.inner
 	}
 }
 

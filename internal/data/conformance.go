@@ -1,0 +1,154 @@
+package data
+
+import (
+	"math/rand"
+
+	"mudbscan/internal/geom"
+)
+
+// ConformanceCase is one entry of the repo-wide conformance table: a seeded
+// dataset plus the DBSCAN parameters it is clustered with. The seven cases
+// cover the regimes where exact-DBSCAN implementations historically diverge —
+// overlapping blobs, uniform background, partition-hostile skew, an all-noise
+// set, an exact border tie, and an integer lattice with duplicates whose many
+// at-exactly-ε pairs must be excluded identically by every engine.
+//
+// Every serving surface is held to the same bar against this table: the
+// distributed suite (serial↔concurrent↔sockets byte-identity, PR 2/PR 6) and
+// the mudbscand daemon (served-vs-direct byte-identity) consume these exact
+// constructions, so "passes conformance" means the same thing everywhere.
+type ConformanceCase struct {
+	Name   string
+	Pts    []geom.Point
+	Eps    float64
+	MinPts int
+}
+
+// ConformanceCases returns the pinned conformance table. The datasets are
+// rebuilt on every call from their seeds; callers may mutate the returned
+// points freely.
+func ConformanceCases() []ConformanceCase {
+	return []ConformanceCase{
+		{"blobs-3d", confBlobs(21, 400, 3, 4, 0.3, 0.2), 0.5, 5},
+		{"blobs-2d-small-eps", confBlobs(22, 350, 2, 3, 0.25, 0.3), 0.35, 3},
+		{"uniform-2d", confUniform(23, 300, 2), 0.9, 4},
+		{"skewed-3d", confSkewed(24, 350, 3), 0.5, 5},
+		{"all-noise", AllNoiseCase(), 1.0, 3},
+		{"border-tie-1d", BorderTieCase(), 1.25, 4},
+		{"lattice-dup-2d", LatticeDupCase(), 2.0, 6},
+	}
+}
+
+// BorderTieCase builds the classic ambiguous border point: two separate
+// 1-D clusters whose nearest cores are both exactly distance 1.0 from a
+// middle point. At eps=1.25 (neighborhoods are strict <) the middle point
+// is a border point that may legitimately join either cluster; the
+// core/noise sets are forced. All coordinates are multiples of 0.25 and
+// eps is 5/4, so every distance — including the pairs at exactly eps
+// (0.75↔2.0, 2.0↔3.25), which must be excluded — is computed exactly in
+// binary floating point.
+func BorderTieCase() []geom.Point {
+	xs := []float64{
+		0, 0.25, 0.5, 0.75, 1.0, // cluster A, all core at eps=1.25 minPts=4
+		3.0, 3.25, 3.5, 3.75, 4.0, // cluster B, all core
+		2.0, // exactly 1.0 from A's core 1.0 and from B's core 3.0
+	}
+	pts := make([]geom.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = geom.Point{x}
+	}
+	return pts
+}
+
+// LatticeDupCase is a 2-D integer grid run at eps=2: axis distance 1 and
+// diagonal √2 are neighbors, while the many pairs at distance exactly 2.0
+// sit on the open neighborhood boundary (strict <) and must be excluded
+// identically by every implementation. Every fourth point is duplicated to
+// exercise zero-distance handling.
+func LatticeDupCase() []geom.Point {
+	var pts []geom.Point
+	for x := 0; x < 12; x++ {
+		for y := 0; y < 12; y++ {
+			pts = append(pts, geom.Point{float64(x), float64(y)})
+			if (x+y)%4 == 0 {
+				pts = append(pts, geom.Point{float64(x), float64(y)})
+			}
+		}
+	}
+	return pts
+}
+
+// AllNoiseCase spaces points too far apart for any core to form.
+func AllNoiseCase() []geom.Point {
+	var pts []geom.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{float64(i) * 5, float64(i%10) * 5})
+	}
+	return pts
+}
+
+// confBlobs draws k Gaussian blobs over a [0,20)^d box with a uniform noise
+// fraction — the same construction (and seeds) the distributed suite has
+// pinned since PR 2, kept verbatim so the conformance bar never moves.
+func confBlobs(seed int64, n, d, k int, spread, noiseFrac float64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		c := make(geom.Point, d)
+		for j := range c {
+			c[j] = rng.Float64() * 20
+		}
+		centers[i] = c
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		if rng.Float64() < noiseFrac {
+			for j := range p {
+				p[j] = rng.Float64() * 20
+			}
+		} else {
+			c := centers[rng.Intn(k)]
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*spread
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// confUniform fills a [0,20)^d box uniformly.
+func confUniform(seed int64, n, d int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 20
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// confSkewed puts 90% of the mass in a tight corner blob and scatters the
+// rest, so kd partitioning produces badly imbalanced ranks.
+func confSkewed(seed int64, n, d int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		if i < n*9/10 {
+			for j := range p {
+				p[j] = rng.NormFloat64() * 0.4
+			}
+		} else {
+			for j := range p {
+				p[j] = rng.Float64() * 30
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}

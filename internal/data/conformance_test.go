@@ -1,0 +1,122 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"mudbscan/internal/geom"
+)
+
+// TestConformanceTablePinned guards the shape of the repo-wide conformance
+// table: the cases, their sizes, and their parameters are load-bearing for
+// every suite that consumes them (dist byte-identity, daemon conformance),
+// so a change here must be deliberate.
+func TestConformanceTablePinned(t *testing.T) {
+	cases := ConformanceCases()
+	wantNames := []string{
+		"blobs-3d", "blobs-2d-small-eps", "uniform-2d", "skewed-3d",
+		"all-noise", "border-tie-1d", "lattice-dup-2d",
+	}
+	if len(cases) != len(wantNames) {
+		t.Fatalf("table has %d cases, want %d", len(cases), len(wantNames))
+	}
+	for i, cc := range cases {
+		if cc.Name != wantNames[i] {
+			t.Fatalf("case %d named %q, want %q", i, cc.Name, wantNames[i])
+		}
+		if cc.Eps <= 0 || cc.MinPts <= 0 || len(cc.Pts) == 0 {
+			t.Fatalf("%s: degenerate parameters eps=%v minPts=%d n=%d",
+				cc.Name, cc.Eps, cc.MinPts, len(cc.Pts))
+		}
+		dim := len(cc.Pts[0])
+		for _, p := range cc.Pts {
+			if len(p) != dim {
+				t.Fatalf("%s: mixed dimensionality", cc.Name)
+			}
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: non-finite coordinate", cc.Name)
+				}
+			}
+		}
+	}
+	// Seeded rebuilds must be identical call to call, or "pinned" means
+	// nothing.
+	again := ConformanceCases()
+	for i, cc := range cases {
+		for j, p := range cc.Pts {
+			for k, v := range p {
+				if again[i].Pts[j][k] != v {
+					t.Fatalf("%s: rebuild differs at point %d", cc.Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBorderTieCaseGeometry verifies the construction the case's name
+// promises: the middle point is exactly distance 1.0 from the nearest core
+// of each cluster, and the at-exactly-ε pairs really are at ε.
+func TestBorderTieCaseGeometry(t *testing.T) {
+	pts := BorderTieCase()
+	mid := pts[len(pts)-1]
+	if d := geom.Dist(mid, geom.Point{1.0}); d != 1.0 {
+		t.Fatalf("middle to cluster-A core: %v, want exactly 1.0", d)
+	}
+	if d := geom.Dist(mid, geom.Point{3.0}); d != 1.0 {
+		t.Fatalf("middle to cluster-B core: %v, want exactly 1.0", d)
+	}
+	const eps = 1.25
+	if d := geom.Dist(geom.Point{0.75}, mid); d != eps {
+		t.Fatalf("0.75↔2.0 distance %v, want exactly eps", d)
+	}
+	if geom.Within(geom.Point{0.75}, mid, eps) {
+		t.Fatal("a pair at exactly eps must be outside the open neighborhood")
+	}
+}
+
+// TestLatticeDupCaseGeometry pins the duplicate count and the exact-ε
+// boundary pairs the lattice case exists to exercise.
+func TestLatticeDupCaseGeometry(t *testing.T) {
+	pts := LatticeDupCase()
+	seen := map[[2]float64]int{}
+	for _, p := range pts {
+		seen[[2]float64{p[0], p[1]}]++
+	}
+	if len(seen) != 144 {
+		t.Fatalf("lattice has %d distinct sites, want 144", len(seen))
+	}
+	dups := 0
+	for _, c := range seen {
+		if c == 2 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("lattice case lost its duplicated points")
+	}
+	a, b := geom.Point{0, 0}, geom.Point{2, 0}
+	if geom.Within(a, b, 2.0) {
+		t.Fatal("axis pair at exactly eps=2 must be excluded")
+	}
+	if !geom.Within(a, geom.Point{1, 1}, 2.0) {
+		t.Fatal("diagonal √2 pair must be a neighbor at eps=2")
+	}
+}
+
+// TestAllNoiseCaseIsSparse: no point may have enough neighbors to go core
+// at the parameters the table runs it with (eps=1, minPts=3).
+func TestAllNoiseCaseIsSparse(t *testing.T) {
+	pts := AllNoiseCase()
+	for i, p := range pts {
+		n := 0
+		for j, q := range pts {
+			if i != j && geom.Within(p, q, 1.0) {
+				n++
+			}
+		}
+		if n+1 >= 3 {
+			t.Fatalf("point %d has %d neighbors; all-noise case formed a core", i, n)
+		}
+	}
+}

@@ -2,17 +2,19 @@ package dist
 
 import (
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 
 	"mudbscan/internal/clustering"
+	"mudbscan/internal/data"
 	"mudbscan/internal/dbscan"
 	"mudbscan/internal/geom"
 )
 
-// confDataset is one entry of the distributed conformance table: a seeded
-// dataset plus the DBSCAN parameters it is clustered with.
+// confDataset is one entry of the conformance table: a seeded dataset plus
+// the DBSCAN parameters it is clustered with. The constructions themselves
+// live in data.ConformanceCases so the daemon suite holds its serving paths
+// to the very same seven datasets.
 type confDataset struct {
 	name   string
 	pts    []geom.Point
@@ -20,97 +22,13 @@ type confDataset struct {
 	minPts int
 }
 
-// uniformPts fills a [0,20)^d box uniformly.
-func uniformPts(rng *rand.Rand, n, d int) []geom.Point {
-	pts := make([]geom.Point, n)
-	for i := range pts {
-		p := make(geom.Point, d)
-		for j := range p {
-			p[j] = rng.Float64() * 20
-		}
-		pts[i] = p
-	}
-	return pts
-}
-
-// skewedPts puts 90% of the mass in a tight corner blob and scatters the
-// rest, so kd partitioning produces badly imbalanced ranks.
-func skewedPts(rng *rand.Rand, n, d int) []geom.Point {
-	pts := make([]geom.Point, n)
-	for i := range pts {
-		p := make(geom.Point, d)
-		if i < n*9/10 {
-			for j := range p {
-				p[j] = rng.NormFloat64() * 0.4
-			}
-		} else {
-			for j := range p {
-				p[j] = rng.Float64() * 30
-			}
-		}
-		pts[i] = p
-	}
-	return pts
-}
-
-// borderTiePts builds the classic ambiguous border point: two separate
-// 1-D clusters whose nearest cores are both exactly distance 1.0 from a
-// middle point. At eps=1.25 (neighborhoods are strict <) the middle point
-// is a border point that may legitimately join either cluster; the
-// core/noise sets are forced. All coordinates are multiples of 0.25 and
-// eps is 5/4, so every distance — including the pairs at exactly eps
-// (0.75↔2.0, 2.0↔3.25), which must be excluded — is computed exactly in
-// binary floating point.
-func borderTiePts() []geom.Point {
-	xs := []float64{
-		0, 0.25, 0.5, 0.75, 1.0, // cluster A, all core at eps=1.25 minPts=4
-		3.0, 3.25, 3.5, 3.75, 4.0, // cluster B, all core
-		2.0, // exactly 1.0 from A's core 1.0 and from B's core 3.0
-	}
-	pts := make([]geom.Point, len(xs))
-	for i, x := range xs {
-		pts[i] = geom.Point{x}
-	}
-	return pts
-}
-
-// latticePts is a 2-D integer grid run at eps=2: axis distance 1 and
-// diagonal √2 are neighbors, while the many pairs at distance exactly 2.0
-// sit on the open neighborhood boundary (strict <) and must be excluded
-// identically by every implementation. Every fourth point is duplicated to
-// exercise zero-distance handling.
-func latticePts() []geom.Point {
-	var pts []geom.Point
-	for x := 0; x < 12; x++ {
-		for y := 0; y < 12; y++ {
-			pts = append(pts, geom.Point{float64(x), float64(y)})
-			if (x+y)%4 == 0 {
-				pts = append(pts, geom.Point{float64(x), float64(y)})
-			}
-		}
-	}
-	return pts
-}
-
-// allNoisePts spaces points too far apart for any core to form.
-func allNoisePts() []geom.Point {
-	var pts []geom.Point
-	for i := 0; i < 100; i++ {
-		pts = append(pts, geom.Point{float64(i) * 5, float64(i%10) * 5})
-	}
-	return pts
-}
-
 func conformanceDatasets() []confDataset {
-	return []confDataset{
-		{"blobs-3d", blobs(rand.New(rand.NewSource(21)), 400, 3, 4, 0.3, 0.2), 0.5, 5},
-		{"blobs-2d-small-eps", blobs(rand.New(rand.NewSource(22)), 350, 2, 3, 0.25, 0.3), 0.35, 3},
-		{"uniform-2d", uniformPts(rand.New(rand.NewSource(23)), 300, 2), 0.9, 4},
-		{"skewed-3d", skewedPts(rand.New(rand.NewSource(24)), 350, 3), 0.5, 5},
-		{"all-noise", allNoisePts(), 1.0, 3},
-		{"border-tie-1d", borderTiePts(), 1.25, 4},
-		{"lattice-dup-2d", latticePts(), 2.0, 6},
+	cases := data.ConformanceCases()
+	out := make([]confDataset, len(cases))
+	for i, c := range cases {
+		out[i] = confDataset{name: c.Name, pts: c.Pts, eps: c.Eps, minPts: c.MinPts}
 	}
+	return out
 }
 
 // TestDistributedConformance is the distributed conformance suite: every
@@ -168,7 +86,7 @@ func TestDistributedConformance(t *testing.T) {
 // semantics: the middle point must be a non-core member of one of the two
 // clusters (never noise), and the two clusters must stay separate.
 func TestConformanceBorderTieAssignsBorder(t *testing.T) {
-	pts := borderTiePts()
+	pts := data.BorderTieCase()
 	for _, exec := range []Exec{ExecSerial, ExecConcurrent} {
 		r, _, err := MuDBSCAND(pts, 1.25, 4, 4, Options{Exec: exec})
 		if err != nil {
@@ -192,7 +110,7 @@ func TestConformanceBorderTieAssignsBorder(t *testing.T) {
 
 // TestConformanceAllNoise pins the all-noise edge case at every rank count.
 func TestConformanceAllNoise(t *testing.T) {
-	pts := allNoisePts()
+	pts := data.AllNoiseCase()
 	for _, p := range []int{1, 2, 4, 8} {
 		r, _, err := MuDBSCAND(pts, 1.0, 3, p, Options{})
 		if err != nil {

@@ -53,7 +53,14 @@ const (
 // reader, refused before transmission by the writer.
 const DefaultMaxFrame = 64 << 20
 
-var errBadMagic = errors.New("nettrans: unknown frame magic")
+// HeaderLen is the fixed size of the frame header preceding every payload.
+const HeaderLen = headerLen
+
+// ErrBadMagic reports a frame whose magic word is not in the reader's
+// accepted set — a foreign protocol, a desynchronized stream, or corruption.
+var ErrBadMagic = errors.New("nettrans: unknown frame magic")
+
+var errBadMagic = ErrBadMagic
 
 // putHeader writes one frame header into b, which must hold headerLen bytes.
 func putHeader(b []byte, magic uint32, tag int64, n uint32) {
@@ -62,30 +69,53 @@ func putHeader(b []byte, magic uint32, tag int64, n uint32) {
 	binary.LittleEndian.PutUint32(b[12:], n)
 }
 
-// encodeFrame builds a complete wire frame.
-func encodeFrame(magic uint32, tag int64, payload []byte) []byte {
+// AppendFrame appends one complete wire frame to dst and returns the
+// extended slice. A caller that owns dst and recycles it across writes
+// (dst[:0]) produces frames without allocating once the buffer has warmed —
+// the daemon's steady-state response path depends on that.
+func AppendFrame(dst []byte, magic uint32, tag int64, payload []byte) []byte {
+	var hdr [headerLen]byte
+	putHeader(hdr[:], magic, tag, uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// EncodeFrame builds a complete wire frame in a fresh buffer.
+func EncodeFrame(magic uint32, tag int64, payload []byte) []byte {
 	b := make([]byte, headerLen+len(payload))
 	putHeader(b, magic, tag, uint32(len(payload)))
 	copy(b[headerLen:], payload)
 	return b
 }
 
-// readFrame reads one frame off r. It returns the frame's magic, tag and
-// payload, or an error: io.EOF for a stream that ends cleanly between
-// frames, io.ErrUnexpectedEOF for one that ends mid-frame, errBadMagic for
-// an unrecognized frame kind, and a descriptive error for a length prefix
-// exceeding maxFrame — checked before allocating, so a lying header cannot
-// balloon memory. No input, however truncated or corrupt, panics.
-func readFrame(r io.Reader, maxFrame int) (magic uint32, tag int64, payload []byte, err error) {
+// encodeFrame builds a complete wire frame.
+func encodeFrame(magic uint32, tag int64, payload []byte) []byte {
+	return EncodeFrame(magic, tag, payload)
+}
+
+// ReadFrame reads one frame off r, accepting only the listed magic words. It
+// returns the frame's magic, tag and payload, or an error: io.EOF for a
+// stream that ends cleanly between frames, io.ErrUnexpectedEOF for one that
+// ends mid-frame, ErrBadMagic for a frame kind outside accept, and a
+// descriptive error for a length prefix exceeding maxFrame — checked before
+// allocating, so a lying header cannot balloon memory. No input, however
+// truncated or corrupt, panics. The mpi socket transport and the mudbscand
+// client protocol share this reader; they differ only in their magic sets.
+func ReadFrame(r io.Reader, maxFrame int, accept ...uint32) (magic uint32, tag int64, payload []byte, err error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
 	}
 	magic = binary.LittleEndian.Uint32(hdr[0:])
-	switch magic {
-	case helloMagic, frameMagic, byeMagic, dieMagic:
-	default:
-		return 0, 0, nil, errBadMagic
+	known := false
+	for _, m := range accept {
+		if magic == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return 0, 0, nil, ErrBadMagic
 	}
 	tag = int64(binary.LittleEndian.Uint64(hdr[4:]))
 	n := binary.LittleEndian.Uint32(hdr[12:])
@@ -103,4 +133,9 @@ func readFrame(r io.Reader, maxFrame int) (magic uint32, tag int64, payload []by
 		return 0, 0, nil, err
 	}
 	return magic, tag, payload, nil
+}
+
+// readFrame reads one mpi transport frame off r.
+func readFrame(r io.Reader, maxFrame int) (magic uint32, tag int64, payload []byte, err error) {
+	return ReadFrame(r, maxFrame, helloMagic, frameMagic, byeMagic, dieMagic)
 }

@@ -93,6 +93,31 @@ func TestReadFrameBadMagic(t *testing.T) {
 	}
 }
 
+// TestExportedFrameCodec pins the surface the mudbscand client protocol
+// reuses: AppendFrame recycles a caller-owned buffer into the same bytes
+// EncodeFrame builds fresh, and ReadFrame's accepted-magic set is the
+// caller's — a magic valid for one protocol is ErrBadMagic for another.
+func TestExportedFrameCodec(t *testing.T) {
+	const foreignMagic = 0xB5524551
+	payload := []byte("daemon request")
+	fresh := EncodeFrame(foreignMagic, 11, payload)
+	buf := make([]byte, 0, 8)
+	buf = AppendFrame(buf[:0], foreignMagic, 11, payload)
+	if !bytes.Equal(fresh, buf) {
+		t.Fatal("AppendFrame and EncodeFrame disagree")
+	}
+	magic, tag, got, err := ReadFrame(bytes.NewReader(buf), DefaultMaxFrame, foreignMagic)
+	if err != nil || magic != foreignMagic || tag != 11 || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadFrame = (%#x, %d, %q, %v)", magic, tag, got, err)
+	}
+	if _, _, _, err := ReadFrame(bytes.NewReader(buf), DefaultMaxFrame, helloMagic, frameMagic); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign magic: err = %v, want ErrBadMagic", err)
+	}
+	if _, _, _, err := readFrame(bytes.NewReader(buf), DefaultMaxFrame); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("transport reader must reject the client protocol's magic, got %v", err)
+	}
+}
+
 // FuzzFrameRead hammers the reassembly path with truncated, length-lying and
 // corrupt streams: readFrame must never panic, never allocate beyond the
 // frame limit, and anything it accepts must re-encode byte-identically.

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// discardConn satisfies net.Conn for encoder gates: writes vanish without
+// allocating, so the measurement sees only the serving path itself.
+type discardConn struct{}
+
+func (discardConn) Read([]byte) (int, error)         { return 0, net.ErrClosed }
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return nil }
+func (discardConn) RemoteAddr() net.Addr             { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestEpsQueryResponseZeroAllocs pins the daemon's steady-state serving
+// claim: once a connection's buffers and the μR-tree index cache are warm, a
+// cached ε-query — body decode, store and index lookups, the arena-tier
+// neighborhood query, sort, and response encode — performs zero heap
+// allocations. Only the inherently allocating frame read and the socket
+// write sit outside this span.
+func TestEpsQueryResponseZeroAllocs(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	t.Cleanup(func() { srv.Close() })
+
+	rng := rand.New(rand.NewSource(99))
+	coords := make([]float64, 0, 2000*3)
+	for i := 0; i < 2000*3; i++ {
+		coords = append(coords, rng.Float64()*10)
+	}
+	id, err := srv.store.put(3, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, minPts := 0.8, 5
+
+	// One query body per distinct query point, rotated below so the gate
+	// covers varying neighborhood sizes, not one lucky cached answer.
+	var bodies [][]byte
+	for q := 0; q < 8; q++ {
+		body := append([]byte(nil), id[:]...)
+		body = appendF64(body, eps)
+		body = appendU32(body, uint32(minPts))
+		body = appendU32(body, 3)
+		for d := 0; d < 3; d++ {
+			body = appendF64(body, coords[q*171*3+d])
+		}
+		bodies = append(bodies, body)
+	}
+
+	c := &serverConn{s: srv, tenant: "gate"}
+	run := func(body []byte) {
+		r := rbuf{b: body}
+		c.epsQueryResponse(&r)
+		if len(c.payload) == 0 || c.payload[0] != statusOK {
+			t.Fatal("eps-query response not OK")
+		}
+	}
+	for _, b := range bodies {
+		run(b) // warm: builds the index once, grows the conn buffers
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		run(bodies[k%len(bodies)])
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed eps-query served with %.1f allocs per request; want 0", allocs)
+	}
+}
+
+// TestSendResultZeroAllocsWhenWarm pins the cluster-response encoder: a
+// cache-hit replay reuses the connection's payload and frame buffers, so
+// encoding N labels + core flags allocates only the defensive result copy
+// made by the cache — the encoder itself adds nothing.
+func TestSendResultZeroAllocsWhenWarm(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	t.Cleanup(func() { srv.Close() })
+
+	labels := make([]int, 4096)
+	core := make([]bool, 4096)
+	for i := range labels {
+		labels[i] = i % 7
+		core[i] = i%3 == 0
+	}
+	res := &result{labels: labels, core: core, numClusters: 7}
+
+	c := &serverConn{s: srv, tenant: "gate", c: discardConn{}}
+	c.sendResult(1, res) // warm the payload and frame buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		c.sendResult(1, res)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed result encode allocated %.1f times; want 0", allocs)
+	}
+}

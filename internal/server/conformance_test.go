@@ -1,0 +1,252 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"mudbscan"
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/data"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/stream"
+)
+
+// startServer runs a daemon on a loopback listener and tears it down (with
+// its goroutines) when the test ends.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(cfg)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func dialTenant(t *testing.T, addr, tenant string) *Client {
+	t.Helper()
+	c, err := Dial("tcp", addr, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func toRows(pts []geom.Point) [][]float64 {
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = p
+	}
+	return rows
+}
+
+// streamDirect replicates the daemon's stream engine with direct library
+// calls: insert in row order, snapshot, assign every point.
+func streamDirect(t *testing.T, rows [][]float64, eps float64, minPts int) []int {
+	t.Helper()
+	c, err := stream.New(len(rows[0]), eps, minPts, stream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := c.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	labels := make([]int, len(rows))
+	for i, row := range rows {
+		labels[i] = snap.Assign(row)
+	}
+	return labels
+}
+
+func mustDeepEqual(t *testing.T, want, got *clustering.Result, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Labels, got.Labels) {
+		t.Fatalf("%s: labels differ from direct call", what)
+	}
+	if !reflect.DeepEqual(want.Core, got.Core) {
+		t.Fatalf("%s: core flags differ from direct call", what)
+	}
+	if want.NumClusters != got.NumClusters {
+		t.Fatalf("%s: clusters %d vs direct %d", what, got.NumClusters, want.NumClusters)
+	}
+}
+
+// TestDaemonConformance is the daemon conformance suite: every conformance
+// dataset, through the wire protocol, on every engine, must come back
+// byte-identical to the direct mudbscan.Cluster* call with the same options.
+// The one documented exception is shared with more than one worker, whose
+// border ownership is first-core-wins between runs: there the served result
+// must be exactly equivalent (same partition, same cores, same noise) and
+// a repeat request must replay the cached bytes verbatim.
+func TestDaemonConformance(t *testing.T) {
+	_, addr := startServer(t, Config{Workers: 2})
+	cl := dialTenant(t, addr, "conformance")
+
+	for _, cc := range data.ConformanceCases() {
+		rows := toRows(cc.Pts)
+		id, err := cl.Put(rows)
+		if err != nil {
+			t.Fatalf("%s: put: %v", cc.Name, err)
+		}
+
+		t.Run(cc.Name+"/seq", func(t *testing.T) {
+			want, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineSeq, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, want, got, "seq")
+		})
+
+		t.Run(cc.Name+"/shared-1", func(t *testing.T) {
+			want, _, err := mudbscan.ClusterParallel(rows, cc.Eps, cc.MinPts, mudbscan.WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineShared, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, want, got, "shared-1")
+		})
+
+		t.Run(cc.Name+"/shared-4", func(t *testing.T) {
+			want, _, err := mudbscan.ClusterParallel(rows, cc.Eps, cc.MinPts, mudbscan.WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineShared, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := clustering.Equivalent(want, got); err != nil {
+				t.Fatalf("shared-4 not equivalent to direct call: %v", err)
+			}
+			if !reflect.DeepEqual(want.Core, got.Core) {
+				t.Fatal("shared-4 core flags differ from direct call")
+			}
+			// Once computed, the cache must replay the same bytes forever.
+			again, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineShared, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, got, again, "shared-4 cached replay")
+		})
+
+		t.Run(cc.Name+"/dist", func(t *testing.T) {
+			want, _, err := mudbscan.ClusterDistributed(rows, cc.Eps, cc.MinPts, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineDist, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, want, got, "dist")
+		})
+
+		t.Run(cc.Name+"/stream", func(t *testing.T) {
+			want := streamDirect(t, rows, cc.Eps, cc.MinPts)
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineStream, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got.Labels) {
+				t.Fatal("stream labels differ from direct pipeline")
+			}
+			if got.Core != nil {
+				t.Fatal("stream results carry no core flags")
+			}
+		})
+
+		t.Run(cc.Name+"/auto", func(t *testing.T) {
+			// Every conformance dataset is below the auto threshold, so auto
+			// must resolve to seq and replay its exact bytes.
+			want, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineAuto, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, want, got, "auto")
+		})
+	}
+}
+
+// TestDaemonEpsQueryMatchesDirect pins the ε-query serving path to the
+// direct geometry: the returned ids must be exactly the points strictly
+// within ε, sorted.
+func TestDaemonEpsQueryMatchesDirect(t *testing.T) {
+	_, addr := startServer(t, Config{Workers: 1})
+	cl := dialTenant(t, addr, "epsq")
+
+	cc := data.ConformanceCases()[0]
+	rows := toRows(cc.Pts)
+	id, err := cl.Put(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < len(cc.Pts); qi += 17 {
+		got, err := cl.EpsQuery(id, cc.Eps, cc.MinPts, cc.Pts[qi])
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		var want []int
+		for j, p := range cc.Pts {
+			if geom.Within(cc.Pts[qi], p, cc.Eps) {
+				want = append(want, j)
+			}
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("query %d: served neighborhood differs from brute force", qi)
+		}
+	}
+}
+
+// TestDaemonRejectsMalformedRequests walks the typed-error surface.
+func TestDaemonRejectsMalformedRequests(t *testing.T) {
+	_, addr := startServer(t, Config{Workers: 1, MaxDatasets: 1})
+	cl := dialTenant(t, addr, "bad")
+
+	id, err := cl.Put([][]float64{{0, 0}, {1, 1}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertIs := func(err, want error, what string) {
+		t.Helper()
+		if !errors.Is(err, want) {
+			t.Fatalf("%s: got %v, want %v", what, err, want)
+		}
+	}
+	_, err = cl.Cluster(DatasetID{1}, 0.5, 3, EngineSeq, 0)
+	assertIs(err, ErrUnknownDataset, "unknown dataset")
+	_, err = cl.Cluster(id, -1, 3, EngineSeq, 0)
+	assertIs(err, ErrBadRequest, "negative eps")
+	_, err = cl.Cluster(id, 0.5, 0, EngineSeq, 0)
+	assertIs(err, ErrBadRequest, "zero minPts")
+	_, err = cl.Cluster(id, 0.5, 3, Engine(200), 0)
+	assertIs(err, ErrUnknownEngine, "engine byte")
+	_, err = cl.Cluster(id, 0.5, 3, EngineDist, 3)
+	assertIs(err, ErrBadRequest, "non-power-of-two ranks")
+	_, err = cl.Put([][]float64{{9, 9}, {8, 8}, {7, 7}})
+	assertIs(err, ErrTooManyDatasets, "store full")
+	_, err = cl.EpsQuery(id, 0.5, 3, []float64{0, 0, 0})
+	assertIs(err, ErrBadRequest, "eps-query dim mismatch")
+}

@@ -1,0 +1,293 @@
+// Package server implements mudbscand, the clustering-as-a-service daemon:
+// a persistent process that accepts datasets and clustering jobs from many
+// concurrent tenants over stdlib net sockets and serves them through the
+// exact engines behind the mudbscan.Cluster* API.
+//
+// Architecture (DESIGN.md §14):
+//
+//   - Wire protocol: the nettrans length-prefixed frame codec (16-byte
+//     header, µREQ/µRSP magics, MaxFrame checked before allocation) carrying
+//     a one-byte op plus a little-endian payload. The tag field correlates
+//     responses to requests, so one connection may keep many jobs in flight.
+//   - Job queue: clustering jobs land in per-tenant bounded FIFOs drained
+//     round-robin by a bounded worker pool. A full tenant queue or a full
+//     server rejects immediately with a typed error (backpressure, never
+//     unbounded buffering), and queued jobs can be cancelled.
+//   - Engines: each job selects seq, shared, dist or stream — or auto,
+//     which picks from cheap dataset statistics. Every served result is
+//     byte-identical to the corresponding direct library call; the
+//     conformance suite enforces this per engine on the shared
+//     data.ConformanceCases table.
+//   - Caching: results are cached by (dataset-hash, ε, minPts, engine,
+//     param) with LRU eviction; hits are served as defensive copies, so no
+//     cached slice is ever aliased across tenants. ε-neighborhood queries
+//     reuse an LRU of built μR-tree indexes.
+//   - Arenas: each pool worker owns a mudbscan.Scratch and each connection
+//     an ε-query arena, so steady-state serving reuses the PR 3 scratch
+//     arenas across requests — AllocsPerRun gates pin the cached ε-query
+//     path at zero allocations.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Frame magics, following the nettrans convention (µ prefix, then the
+// frame kind). The sets are disjoint from the mpi transport's so a rank
+// process dialed by mistake rejects daemon traffic as ErrBadMagic.
+const (
+	// ReqMagic types every client→daemon frame: payload = op byte + body.
+	ReqMagic = 0xB5524551 // µREQ
+	// RespMagic types every daemon→client frame: payload = status byte +
+	// body, tag echoing the request's.
+	RespMagic = 0xB5525350 // µRSP
+)
+
+// Request ops (first payload byte of a ReqMagic frame).
+const (
+	opHello    = 1 // body: tenant name — must be the first frame on a connection
+	opPing     = 2 // body: empty
+	opPut      = 3 // body: dim u32, n u32, n*dim f64 coords
+	opCluster  = 4 // body: dataset id, engine u8, param u32, eps f64, minPts u32
+	opEpsQuery = 5 // body: dataset id, eps f64, minPts u32, dim u32, dim f64 coords
+	opCancel   = 6 // body: target tag i64
+	opStats    = 7 // body: empty
+)
+
+// Response status codes (first payload byte of a RespMagic frame). Non-OK
+// bodies carry a human-readable message; each code maps to one exported
+// sentinel error so clients can errors.Is on the cause.
+const (
+	statusOK              = 0
+	statusBadRequest      = 1
+	statusUnknownDataset  = 2
+	statusQueueFull       = 3
+	statusOverloaded      = 4
+	statusShuttingDown    = 5
+	statusCanceled        = 6
+	statusUnknownEngine   = 7
+	statusTooManyDatasets = 8
+	statusInternal        = 9
+)
+
+// Typed errors for every way the daemon refuses work. The queue-related ones
+// are the backpressure contract: a client seeing ErrQueueFull or
+// ErrOverloaded got a definitive, immediate rejection — nothing was queued.
+var (
+	// ErrBadRequest reports a request the daemon could parse as a frame but
+	// not as an operation (malformed body, dimension mismatch, bad ε).
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrUnknownDataset reports a dataset id with no Put behind it.
+	ErrUnknownDataset = errors.New("server: unknown dataset")
+	// ErrQueueFull reports the submitting tenant's queue at capacity.
+	ErrQueueFull = errors.New("server: tenant queue full")
+	// ErrOverloaded reports the server-wide queue at capacity.
+	ErrOverloaded = errors.New("server: server overloaded")
+	// ErrShuttingDown reports a job refused because the daemon is stopping.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrCanceled reports a queued job cancelled before execution.
+	ErrCanceled = errors.New("server: job canceled")
+	// ErrUnknownEngine reports an engine byte outside the known set.
+	ErrUnknownEngine = errors.New("server: unknown engine")
+	// ErrTooManyDatasets reports the dataset store at capacity.
+	ErrTooManyDatasets = errors.New("server: dataset store full")
+	// ErrInternal reports an engine failure while running a job.
+	ErrInternal = errors.New("server: internal error")
+)
+
+// statusErr maps a non-OK status code to its sentinel error.
+func statusErr(code byte) error {
+	switch code {
+	case statusBadRequest:
+		return ErrBadRequest
+	case statusUnknownDataset:
+		return ErrUnknownDataset
+	case statusQueueFull:
+		return ErrQueueFull
+	case statusOverloaded:
+		return ErrOverloaded
+	case statusShuttingDown:
+		return ErrShuttingDown
+	case statusCanceled:
+		return ErrCanceled
+	case statusUnknownEngine:
+		return ErrUnknownEngine
+	case statusTooManyDatasets:
+		return ErrTooManyDatasets
+	case statusInternal:
+		return ErrInternal
+	default:
+		return fmt.Errorf("server: unknown status %d", code)
+	}
+}
+
+// Engine selects the execution mode of a clustering job — the four
+// mudbscan.Cluster* entry points plus auto-selection.
+type Engine uint8
+
+const (
+	// EngineAuto picks EngineSeq or EngineShared from the dataset size.
+	EngineAuto Engine = iota
+	// EngineSeq is sequential μDBSCAN (mudbscan.Cluster).
+	EngineSeq
+	// EngineShared is shared-memory μDBSCAN (mudbscan.ClusterParallel);
+	// param is the worker count (default 1, the deterministic choice).
+	EngineShared
+	// EngineDist is μDBSCAN-D (mudbscan.ClusterDistributed); param is the
+	// rank count (default 4, must be a power of two).
+	EngineDist
+	// EngineStream feeds the dataset through the stream clusterer and labels
+	// each point from the final snapshot; approximate at micro-cluster
+	// granularity but deterministic.
+	EngineStream
+
+	numEngines = 5
+)
+
+// String names the engine as the CLI and metrics surface spell it.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSeq:
+		return "seq"
+	case EngineShared:
+		return "shared"
+	case EngineDist:
+		return "dist"
+	case EngineStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine is String's inverse.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "seq":
+		return EngineSeq, nil
+	case "shared":
+		return EngineShared, nil
+	case "dist":
+		return EngineDist, nil
+	case "stream":
+		return EngineStream, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want auto, seq, shared, dist or stream)", ErrUnknownEngine, s)
+}
+
+// DatasetID identifies a stored dataset: the SHA-256 of its canonical wire
+// encoding (dim u32, n u32, row-major f64 coordinates, little-endian), so
+// identical data always maps to the same id and the result cache keys on
+// content, not upload order.
+type DatasetID [32]byte
+
+// String renders the id in hex.
+func (id DatasetID) String() string { return fmt.Sprintf("%x", id[:]) }
+
+// epsBitsOf is the cache identity of an ε value: its exact bit pattern.
+func epsBitsOf(eps float64) uint64 { return math.Float64bits(eps) }
+
+// rbuf is a bounds-checked little-endian reader over one request or
+// response body. Every decode helper reports failure by latching err; a
+// malformed buffer can never panic or over-read — the protocol fuzz target
+// hammers exactly this property.
+type rbuf struct {
+	b   []byte
+	err bool
+}
+
+func (r *rbuf) fail() { r.err = true }
+
+func (r *rbuf) u8() byte {
+	if r.err || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *rbuf) i64() int64 {
+	if r.err || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *rbuf) f64() float64 {
+	if r.err || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// f64sInto decodes n floats into dst (reused across requests; grown once).
+func (r *rbuf) f64sInto(dst []float64, n int) []float64 {
+	if r.err || len(r.b) < 8*n {
+		r.fail()
+		return dst[:0]
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(r.b[8*i:])))
+	}
+	r.b = r.b[8*n:]
+	return dst
+}
+
+func (r *rbuf) id() DatasetID {
+	var id DatasetID
+	if r.err || len(r.b) < len(id) {
+		r.fail()
+		return id
+	}
+	copy(id[:], r.b)
+	r.b = r.b[len(id):]
+	return id
+}
+
+// rest consumes and returns the remaining bytes.
+func (r *rbuf) rest() []byte {
+	if r.err {
+		return nil
+	}
+	v := r.b
+	r.b = nil
+	return v
+}
+
+// done reports whether the buffer decoded cleanly and completely.
+func (r *rbuf) done() bool { return !r.err && len(r.b) == 0 }
+
+// Append helpers for the write side. All append into caller-owned buffers,
+// so warmed paths encode without allocating.
+
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRbufDecodesAndLatches(t *testing.T) {
+	var b []byte
+	b = append(b, 7)
+	b = appendU32(b, 0xDEAD)
+	b = appendI64(b, -42)
+	b = appendF64(b, math.Pi)
+	b = appendF64(b, 1.5)
+	b = appendF64(b, 2.5)
+
+	r := rbuf{b: b}
+	if v := r.u8(); v != 7 {
+		t.Fatalf("u8 = %d", v)
+	}
+	if v := r.u32(); v != 0xDEAD {
+		t.Fatalf("u32 = %#x", v)
+	}
+	if v := r.i64(); v != -42 {
+		t.Fatalf("i64 = %d", v)
+	}
+	if v := r.f64(); v != math.Pi {
+		t.Fatalf("f64 = %v", v)
+	}
+	fs := r.f64sInto(nil, 2)
+	if !reflect.DeepEqual(fs, []float64{1.5, 2.5}) {
+		t.Fatalf("f64sInto = %v", fs)
+	}
+	if !r.done() {
+		t.Fatal("buffer should be cleanly consumed")
+	}
+	// Over-reading latches the error; every later read is a safe zero.
+	if v := r.u32(); v != 0 || !r.err {
+		t.Fatal("over-read must latch the error")
+	}
+	if r.done() {
+		t.Fatal("done must report the latched error")
+	}
+	// Latching also protects partial reads: 3 bytes cannot yield a u32.
+	r2 := rbuf{b: []byte{1, 2, 3}}
+	if r2.u32(); !r2.err {
+		t.Fatal("short u32 must latch")
+	}
+	if got := r2.f64sInto(make([]float64, 0, 4), 1); len(got) != 0 {
+		t.Fatal("f64sInto after latch must return empty")
+	}
+	if r2.rest() != nil {
+		t.Fatal("rest after latch must be nil")
+	}
+}
+
+func TestEngineStringParseRoundTrip(t *testing.T) {
+	for e := Engine(0); e < numEngines; e++ {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("round trip %v: got %v, err %v", e, got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("unknown engine name must fail")
+	}
+	if e, err := ParseEngine(""); err != nil || e != EngineAuto {
+		t.Fatal("empty engine name must mean auto")
+	}
+}
+
+func TestStatusErrRoundTrip(t *testing.T) {
+	for code := byte(1); code <= statusInternal; code++ {
+		err := statusErr(code)
+		if errStatus(err) != code {
+			t.Fatalf("status %d round-tripped to %d", code, errStatus(err))
+		}
+	}
+}
+
+func TestStatsEncodeDecodeRoundTrip(t *testing.T) {
+	s := Stats{
+		Conns: 3, ConnsOpen: 1, JobsAccepted: 17, JobsCompleted: 15,
+		JobsCanceled: 1, JobsFailed: 1, RejQueueFull: 2, RejOverloaded: 4,
+		EpsQueries: 99, Pings: 5, Puts: 7, QueueDepth: 2, Datasets: 3,
+		ResultHits: 10, ResultMisses: 5, ResultEvictions: 1, ResultSize: 4,
+		IndexHits: 6, IndexMisses: 2, IndexEvictions: 0, IndexSize: 2,
+		JobTotalNanos: 123456, JobMaxNanos: 9999,
+	}
+	s.PerEngine[EngineSeq] = 9
+	s.PerEngine[EngineDist] = 6
+
+	m, err := decodeStats(s.encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]int64{
+		"conns_total": 3, "jobs_accepted": 17, "jobs_engine_seq": 9,
+		"jobs_engine_dist": 6, "eps_queries": 99, "result_cache_hits": 10,
+		"queue_depth": 2, "job_time_max_ns": 9999,
+	}
+	for name, want := range checks {
+		if m[name] != want {
+			t.Fatalf("%s = %d, want %d", name, m[name], want)
+		}
+	}
+	// The text surface renders the same fields in the same order.
+	text := s.String()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != len(m) {
+		t.Fatalf("text has %d lines, wire has %d fields", len(lines), len(m))
+	}
+	if !strings.HasPrefix(lines[0], "conns_total 3") {
+		t.Fatalf("first line %q", lines[0])
+	}
+
+	for _, bad := range [][]byte{{1}, appendU32(nil, 1<<20), appendU32(appendU32(nil, 1), 1000)} {
+		if _, err := decodeStats(bad); err == nil {
+			t.Fatalf("malformed stats body %v decoded", bad)
+		}
+	}
+}
+
+// FuzzHandleFrame throws arbitrary request payloads at the dispatch layer —
+// both pre- and post-hello — asserting only that the daemon neither panics
+// nor over-reads. The bounds-latching rbuf is the property under test.
+func FuzzHandleFrame(f *testing.F) {
+	f.Add([]byte{opHello, 't', 'x'})
+	f.Add([]byte{opPing})
+	f.Add([]byte{opStats})
+	f.Add([]byte{opCancel, 1, 2, 3, 4, 5, 6, 7, 8})
+	put := []byte{opPut}
+	put = appendU32(put, 2)
+	put = appendU32(put, 2)
+	for i := 0; i < 4; i++ {
+		put = appendF64(put, float64(i))
+	}
+	f.Add(put)
+	cluster := []byte{opCluster}
+	cluster = append(cluster, make([]byte, 32)...)
+	cluster = append(cluster, byte(EngineSeq))
+	cluster = appendU32(cluster, 0)
+	cluster = appendF64(cluster, 0.5)
+	cluster = appendU32(cluster, 4)
+	f.Add(cluster)
+	epsq := []byte{opEpsQuery}
+	epsq = append(epsq, make([]byte, 32)...)
+	epsq = appendF64(epsq, 0.5)
+	epsq = appendU32(epsq, 4)
+	epsq = appendU32(epsq, 2)
+	epsq = appendF64(epsq, 1)
+	epsq = appendF64(epsq, 2)
+	f.Add(epsq)
+	f.Add([]byte{})
+	f.Add([]byte{200, 1})
+
+	srv := New(Config{Workers: 1, QueuePerTenant: 2, QueueTotal: 4, MaxDatasets: 4})
+	defer srv.Close()
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fresh := &serverConn{s: srv, c: discardConn{}}
+		fresh.handleFrame(1, payload)
+		authed := &serverConn{s: srv, c: discardConn{}, tenant: "fuzz"}
+		authed.handleFrame(2, payload)
+	})
+}

@@ -1,0 +1,164 @@
+package server
+
+import "sync"
+
+// job is one queued clustering request. The execution fields are set by the
+// connection handler at submit time; done is invoked exactly once — by a
+// pool worker, by cancel, or by the shutdown drain — with the outcome.
+type job struct {
+	tenant string
+	tag    int64
+
+	ds     *dataset
+	eps    float64
+	minPts int
+	engine Engine // resolved: never EngineAuto by the time it is queued
+	param  int
+	key    resultKey
+
+	// done delivers the outcome back to the owning connection. Exactly one
+	// of res and err is non-nil.
+	done func(res *result, err error)
+}
+
+// queue is the backpressured admission stage between connections and the
+// worker pool: bounded per tenant and in total, drained round-robin across
+// tenants so one flooding client cannot starve the rest. Rejection is
+// immediate and typed — nothing is ever buffered beyond the stated bounds.
+type queue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	perTenant int
+	maxTotal  int
+
+	tenants map[string][]*job
+	order   []string // round-robin ring of tenants with pending jobs
+	next    int      // index into order of the next tenant to serve
+	total   int
+	closed  bool
+}
+
+func newQueue(perTenant, maxTotal int) *queue {
+	q := &queue{
+		perTenant: perTenant,
+		maxTotal:  maxTotal,
+		tenants:   make(map[string][]*job),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits j or rejects it with a typed error. The global bound is
+// checked before the per-tenant bound so a saturated server reports
+// ErrOverloaded even to tenants with spare quota.
+func (q *queue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	if q.total >= q.maxTotal {
+		return ErrOverloaded
+	}
+	pending := q.tenants[j.tenant]
+	if len(pending) >= q.perTenant {
+		return ErrQueueFull
+	}
+	if len(pending) == 0 {
+		q.order = append(q.order, j.tenant)
+	}
+	q.tenants[j.tenant] = append(pending, j)
+	q.total++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks for the next job, rotating across tenants, and returns
+// ok=false once the queue is closed and drained.
+func (q *queue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.total == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.total == 0 {
+		return nil, false
+	}
+	if q.next >= len(q.order) {
+		q.next = 0
+	}
+	t := q.order[q.next]
+	pending := q.tenants[t]
+	j := pending[0]
+	pending[0] = nil
+	pending = pending[1:]
+	q.total--
+	if len(pending) == 0 {
+		delete(q.tenants, t)
+		q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+		// q.next now already names the following tenant.
+	} else {
+		q.tenants[t] = pending
+		q.next++
+	}
+	return j, true
+}
+
+// cancel removes tenant's queued job with the given tag, returning it so
+// the caller can complete it with ErrCanceled. Jobs already claimed by a
+// worker are past cancellation; cancel reports those as not found.
+func (q *queue) cancel(tenant string, tag int64) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pending := q.tenants[tenant]
+	for i, j := range pending {
+		if j.tag != tag {
+			continue
+		}
+		pending = append(pending[:i], pending[i+1:]...)
+		q.total--
+		if len(pending) == 0 {
+			delete(q.tenants, tenant)
+			for oi, name := range q.order {
+				if name == tenant {
+					q.order = append(q.order[:oi], q.order[oi+1:]...)
+					if oi < q.next {
+						q.next--
+					}
+					break
+				}
+			}
+		} else {
+			q.tenants[tenant] = pending
+		}
+		return j
+	}
+	return nil
+}
+
+// close marks the queue shutting down, wakes all workers, and returns every
+// still-queued job so the caller can fail them with ErrShuttingDown.
+func (q *queue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var drained []*job
+	for _, t := range q.order {
+		drained = append(drained, q.tenants[t]...)
+	}
+	q.tenants = make(map[string][]*job)
+	q.order = nil
+	q.total = 0
+	q.cond.Broadcast()
+	return drained
+}
+
+// depth reports the total queued jobs (for the stats surface).
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}

@@ -1,0 +1,634 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"mudbscan"
+	"mudbscan/internal/geom"
+	"mudbscan/internal/mc"
+	"mudbscan/internal/mpi/nettrans"
+	"mudbscan/internal/stream"
+)
+
+// Request validation bounds. These are sanity caps on the protocol, not
+// tuning knobs: anything beyond them is a malformed or hostile request.
+const (
+	maxDim        = 1 << 10
+	maxTenantName = 128
+	maxSharedWork = 1 << 10
+	maxDistRanks  = 64
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers is the clustering pool size (default GOMAXPROCS). Each worker
+	// owns a mudbscan.Scratch reused across every job it runs.
+	Workers int
+	// QueuePerTenant bounds one tenant's queued jobs (default 8); beyond it
+	// submissions fail fast with ErrQueueFull.
+	QueuePerTenant int
+	// QueueTotal bounds all queued jobs (default 64); beyond it submissions
+	// fail fast with ErrOverloaded.
+	QueueTotal int
+	// MaxDatasets bounds the dataset store (default 64).
+	MaxDatasets int
+	// ResultCacheSize bounds the clustering-result LRU (default 128).
+	ResultCacheSize int
+	// IndexCacheSize bounds the μR-tree index LRU for ε-queries (default 16).
+	IndexCacheSize int
+	// MaxFrame bounds one request frame (default nettrans.DefaultMaxFrame).
+	MaxFrame int
+	// AutoThreshold is the point count at which EngineAuto switches from
+	// seq to shared (default 4096).
+	AutoThreshold int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueuePerTenant <= 0 {
+		c.QueuePerTenant = 8
+	}
+	if c.QueueTotal <= 0 {
+		c.QueueTotal = 64
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 128
+	}
+	if c.IndexCacheSize <= 0 {
+		c.IndexCacheSize = 16
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = nettrans.DefaultMaxFrame
+	}
+	if c.AutoThreshold <= 0 {
+		c.AutoThreshold = 4096
+	}
+}
+
+// Server is the mudbscand daemon: Serve on any net.Listener (several may
+// run concurrently), Close for a leak-free shutdown that fails queued jobs
+// with ErrShuttingDown, closes every connection, and joins every goroutine.
+type Server struct {
+	cfg     Config
+	store   *store
+	results *resultCache
+	indexes *indexCache
+	q       *queue
+	m       metrics
+
+	mu     sync.Mutex
+	closed bool
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(cfg.MaxDatasets),
+		results: newResultCache(cfg.ResultCacheSize),
+		indexes: newIndexCache(cfg.IndexCacheSize),
+		q:       newQueue(cfg.QueuePerTenant, cfg.QueueTotal),
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(mudbscan.NewScratch())
+	}
+	return s
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// closes. It returns nil on clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrShuttingDown
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Close shuts the daemon down: queued jobs fail with ErrShuttingDown (their
+// responses are still delivered), then every listener and connection closes
+// and Close blocks until all workers and handlers have exited.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := make([]net.Listener, 0, len(s.lns))
+	for ln := range s.lns {
+		lns = append(lns, ln) //mulint:allow determinism/maprange shutdown closes every listener; order is immaterial
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, j := range s.q.close() {
+		j.done(nil, ErrShuttingDown)
+	}
+	// Queue is closed: workers drain their in-flight job and exit. Give the
+	// failed-job responses above a synchronous flush path before the
+	// connections go away — done() writes inline, so they are already out.
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c) //mulint:allow determinism/maprange shutdown closes every connection; order is immaterial
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the full observable state, merging engine counters with
+// queue depth, store size, and cache accounting.
+func (s *Server) Stats() Stats {
+	st := s.m.snapshot()
+	st.QueueDepth = int64(s.q.depth())
+	st.Datasets = int64(s.store.len())
+	var size int
+	st.ResultHits, st.ResultMisses, st.ResultEvictions, size = s.results.counters()
+	st.ResultSize = int64(size)
+	st.IndexHits, st.IndexMisses, st.IndexEvictions, size = s.indexes.counters()
+	st.IndexSize = int64(size)
+	return st
+}
+
+// worker drains the job queue. scr is this worker's private scratch,
+// re-lent to every sequential and shared job it runs.
+func (s *Server) worker(scr *mudbscan.Scratch) {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		res, err := s.runJob(j, scr)
+		s.m.jobDone(j.engine, time.Since(start), err)
+		j.done(res, err)
+	}
+}
+
+// runJob executes one clustering job on its resolved engine and stores the
+// outcome in the result cache.
+func (s *Server) runJob(j *job, scr *mudbscan.Scratch) (*result, error) {
+	var (
+		r   *mudbscan.Result
+		err error
+	)
+	switch j.engine {
+	case EngineSeq:
+		r, err = mudbscan.Cluster(j.ds.rows, j.eps, j.minPts, mudbscan.WithScratch(scr))
+	case EngineShared:
+		r, _, err = mudbscan.ClusterParallel(j.ds.rows, j.eps, j.minPts,
+			mudbscan.WithWorkers(j.param), mudbscan.WithScratch(scr))
+	case EngineDist:
+		r, _, err = mudbscan.ClusterDistributed(j.ds.rows, j.eps, j.minPts, j.param)
+	case EngineStream:
+		return s.runStream(j)
+	default:
+		return nil, ErrUnknownEngine
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrInternal, j.engine, err)
+	}
+	res := &result{labels: r.Labels, core: r.Core, numClusters: r.NumClusters}
+	s.results.put(j.key, res.clone())
+	return res, nil
+}
+
+// runStream feeds the dataset through the stream clusterer in row order and
+// labels every point from the final snapshot. Approximate at micro-cluster
+// granularity, deterministic (snapshot iterates sorted MC ids), and the only
+// engine without per-point core flags.
+func (s *Server) runStream(j *job) (*result, error) {
+	c, err := stream.New(j.ds.dim, j.eps, j.minPts, stream.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	for _, row := range j.ds.rows {
+		if err := c.Add(row); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInternal, err)
+		}
+	}
+	snap := c.Snapshot()
+	labels := make([]int, len(j.ds.rows))
+	for i, row := range j.ds.rows {
+		labels[i] = snap.Assign(row)
+	}
+	res := &result{labels: labels, core: nil, numClusters: snap.NumClusters}
+	s.results.put(j.key, res.clone())
+	return res, nil
+}
+
+// serverConn is the per-connection state: the tenant identity, the reused
+// decode and encode buffers, and the ε-query neighborhood arena. writeMu
+// serializes the write path between the reader goroutine (inline ops) and
+// pool workers (job completions); the buffers it guards make the warmed
+// request→response path allocation-free.
+type serverConn struct {
+	s      *Server
+	c      net.Conn
+	tenant string
+
+	writeMu sync.Mutex
+	payload []byte // response body under construction
+	wbuf    []byte // framed response bytes
+	nbhd    []int  // ε-query neighborhood arena
+
+	qpt    []float64 // decoded ε-query point
+	coords []float64 // decoded Put coordinate block
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.m.connClosed()
+	}()
+	s.m.connOpened()
+
+	c := &serverConn{s: s, c: conn}
+	br := bufio.NewReader(conn)
+	for {
+		_, tag, payload, err := nettrans.ReadFrame(br, s.cfg.MaxFrame, ReqMagic)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.m.badFrame()
+			}
+			return
+		}
+		if !c.handleFrame(tag, payload) {
+			return
+		}
+	}
+}
+
+// handleFrame dispatches one request frame, reporting false when the
+// connection must close (undecodable op or a protocol-order violation).
+// It is also the protocol fuzz entry point: no payload may panic it.
+func (c *serverConn) handleFrame(tag int64, payload []byte) bool {
+	r := rbuf{b: payload}
+	op := r.u8()
+	if r.err {
+		c.s.m.badFrame()
+		return false
+	}
+	if c.tenant == "" && op != opHello {
+		c.sendErr(tag, fmt.Errorf("%w: first frame must be hello", ErrBadRequest))
+		return false
+	}
+	switch op {
+	case opHello:
+		c.handleHello(tag, &r)
+	case opPing:
+		c.s.m.ping()
+		c.sendOK(tag)
+	case opPut:
+		c.handlePut(tag, &r)
+	case opCluster:
+		c.handleCluster(tag, &r)
+	case opEpsQuery:
+		c.handleEpsQuery(tag, &r)
+	case opCancel:
+		c.handleCancel(tag, &r)
+	case opStats:
+		c.handleStats(tag)
+	default:
+		c.sendErr(tag, fmt.Errorf("%w: unknown op %d", ErrBadRequest, op))
+	}
+	return true
+}
+
+// writeLocked frames c.payload and writes it. Callers hold writeMu and have
+// just rebuilt c.payload.
+func (c *serverConn) writeLocked(tag int64) {
+	c.wbuf = nettrans.AppendFrame(c.wbuf[:0], RespMagic, tag, c.payload)
+	c.c.Write(c.wbuf) // a failed write surfaces as the reader loop's exit
+}
+
+func (c *serverConn) sendOK(tag int64) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.payload = append(c.payload[:0], statusOK)
+	c.writeLocked(tag)
+}
+
+// errStatus maps a refusal to its wire code.
+func errStatus(err error) byte {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return statusBadRequest
+	case errors.Is(err, ErrUnknownDataset):
+		return statusUnknownDataset
+	case errors.Is(err, ErrQueueFull):
+		return statusQueueFull
+	case errors.Is(err, ErrOverloaded):
+		return statusOverloaded
+	case errors.Is(err, ErrShuttingDown):
+		return statusShuttingDown
+	case errors.Is(err, ErrCanceled):
+		return statusCanceled
+	case errors.Is(err, ErrUnknownEngine):
+		return statusUnknownEngine
+	case errors.Is(err, ErrTooManyDatasets):
+		return statusTooManyDatasets
+	default:
+		return statusInternal
+	}
+}
+
+func (c *serverConn) sendErr(tag int64, err error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.payload = append(c.payload[:0], errStatus(err))
+	c.payload = append(c.payload, err.Error()...)
+	c.writeLocked(tag)
+}
+
+func (c *serverConn) handleHello(tag int64, r *rbuf) {
+	name := r.rest()
+	if c.tenant != "" {
+		c.sendErr(tag, fmt.Errorf("%w: duplicate hello", ErrBadRequest))
+		return
+	}
+	if len(name) == 0 || len(name) > maxTenantName {
+		c.sendErr(tag, fmt.Errorf("%w: tenant name must be 1..%d bytes", ErrBadRequest, maxTenantName))
+		return
+	}
+	c.tenant = string(name)
+	c.sendOK(tag)
+}
+
+func (c *serverConn) handlePut(tag int64, r *rbuf) {
+	dim := int(r.u32())
+	n := int(r.u32())
+	if r.err || dim < 1 || dim > maxDim || n < 1 {
+		c.sendErr(tag, fmt.Errorf("%w: put wants dim in [1,%d] and n >= 1", ErrBadRequest, maxDim))
+		return
+	}
+	c.coords = r.f64sInto(c.coords, n*dim)
+	if !r.done() {
+		c.sendErr(tag, fmt.Errorf("%w: put body is not dim+n+%d coords", ErrBadRequest, n*dim))
+		return
+	}
+	id, err := c.s.store.put(dim, c.coords)
+	if err != nil {
+		c.sendErr(tag, err)
+		return
+	}
+	c.s.m.put()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.payload = append(c.payload[:0], statusOK)
+	c.payload = append(c.payload, id[:]...)
+	c.writeLocked(tag)
+}
+
+// resolve turns the wire (engine, param) pair into a concrete engine and
+// parameter, applying defaults and the auto heuristic.
+func (s *Server) resolve(engine Engine, param int, n int) (Engine, int, error) {
+	if engine >= numEngines {
+		return 0, 0, fmt.Errorf("%w: engine byte %d", ErrUnknownEngine, engine)
+	}
+	if engine == EngineAuto {
+		if n < s.cfg.AutoThreshold {
+			engine = EngineSeq
+		} else {
+			engine, param = EngineShared, runtime.GOMAXPROCS(0)
+		}
+	}
+	switch engine {
+	case EngineShared:
+		if param == 0 {
+			param = 1 // the deterministic default: single-worker shared
+		}
+		if param < 0 || param > maxSharedWork {
+			return 0, 0, fmt.Errorf("%w: shared workers %d out of range", ErrBadRequest, param)
+		}
+	case EngineDist:
+		if param == 0 {
+			param = 4
+		}
+		if param < 1 || param > maxDistRanks || param&(param-1) != 0 {
+			return 0, 0, fmt.Errorf("%w: dist ranks %d must be a power of two in [1,%d]", ErrBadRequest, param, maxDistRanks)
+		}
+	default:
+		param = 0 // seq and stream take no parameter
+	}
+	return engine, param, nil
+}
+
+func (c *serverConn) handleCluster(tag int64, r *rbuf) {
+	id := r.id()
+	engine := Engine(r.u8())
+	param := int(r.u32())
+	eps := r.f64()
+	minPts := int(r.u32())
+	if !r.done() || eps <= 0 || minPts < 1 {
+		c.sendErr(tag, fmt.Errorf("%w: malformed cluster request", ErrBadRequest))
+		return
+	}
+	ds, ok := c.s.store.get(id)
+	if !ok {
+		c.sendErr(tag, fmt.Errorf("%w: %s", ErrUnknownDataset, id))
+		return
+	}
+	engine, param, err := c.s.resolve(engine, param, len(ds.rows))
+	if err != nil {
+		c.sendErr(tag, err)
+		return
+	}
+	key := resultKey{id: id, epsBits: epsBitsOf(eps), minPts: int32(minPts), engine: engine, param: int32(param)}
+	if res, ok := c.s.results.get(key); ok {
+		c.sendResult(tag, res)
+		return
+	}
+	j := &job{
+		tenant: c.tenant, tag: tag,
+		ds: ds, eps: eps, minPts: minPts, engine: engine, param: param, key: key,
+		done: func(res *result, err error) {
+			if err != nil {
+				c.sendErr(tag, err)
+				return
+			}
+			c.sendResult(tag, res)
+		},
+	}
+	if err := c.s.q.push(j); err != nil {
+		c.s.m.jobRejected(err)
+		c.sendErr(tag, err)
+		return
+	}
+	c.s.m.jobAccepted()
+}
+
+func (c *serverConn) sendResult(tag int64, res *result) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	p := append(c.payload[:0], statusOK)
+	p = appendU32(p, uint32(res.numClusters))
+	p = appendU32(p, uint32(len(res.labels)))
+	if res.core != nil {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	for _, l := range res.labels {
+		p = appendI64(p, int64(l))
+	}
+	for _, cf := range res.core {
+		if cf {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+	}
+	c.payload = p
+	c.writeLocked(tag)
+}
+
+// handleEpsQuery is the steady-state serving path: decode into conn-owned
+// buffers, query the cached μR-tree through the arena tier, encode from the
+// same buffers. Warmed up, the whole span between frame read and socket
+// write runs without allocating — the allocs gate pins that.
+func (c *serverConn) handleEpsQuery(tag int64, r *rbuf) {
+	c.s.m.epsQuery()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.epsQueryResponse(r)
+	c.writeLocked(tag)
+}
+
+// epsQueryResponse builds the response body in c.payload. Callers hold
+// writeMu. Split from the frame+write step so the allocation gate can
+// measure exactly the decode→query→encode span.
+func (c *serverConn) epsQueryResponse(r *rbuf) {
+	id := r.id()
+	eps := r.f64()
+	minPts := int(r.u32())
+	dim := int(r.u32())
+	if r.err || eps <= 0 || minPts < 1 || dim < 1 || dim > maxDim {
+		c.payload = appendMsg(c.payload[:0], statusBadRequest, "server: bad request: malformed eps-query")
+		return
+	}
+	c.qpt = r.f64sInto(c.qpt, dim)
+	if !r.done() {
+		c.payload = appendMsg(c.payload[:0], statusBadRequest, "server: bad request: malformed eps-query")
+		return
+	}
+	ds, ok := c.s.store.get(id)
+	if !ok {
+		c.payload = appendMsg(c.payload[:0], statusUnknownDataset, "server: unknown dataset")
+		return
+	}
+	if ds.dim != dim {
+		c.payload = appendMsg(c.payload[:0], statusBadRequest, "server: bad request: dimension mismatch")
+		return
+	}
+	ix := c.s.indexes.build(indexKey{id: id, epsBits: epsBitsOf(eps), minPts: int32(minPts)}, ds, eps, minPts)
+	c.payload = append(c.payload[:0], statusOK)
+	c.nbhd, c.payload = epsQueryAppend(ix, geom.Point(c.qpt), c.nbhd, c.payload)
+}
+
+// epsQueryAppend runs the ε-neighborhood query through the arena tier and
+// encodes the sorted ids. nbhd and dst are caller-owned reuse buffers.
+//
+//mulint:noalloc
+func epsQueryAppend(ix *mc.Index, pt geom.Point, nbhd []int, dst []byte) ([]int, []byte) {
+	nbhd, _ = ix.WholeSpaceNeighborhoodInto(pt, nbhd[:0])
+	slices.Sort(nbhd)
+	dst = appendU32(dst, uint32(len(nbhd)))
+	for _, id := range nbhd {
+		dst = appendU32(dst, uint32(id))
+	}
+	return nbhd, dst
+}
+
+// appendMsg encodes a non-OK status with its message.
+func appendMsg(dst []byte, status byte, msg string) []byte {
+	dst = append(dst, status)
+	return append(dst, msg...)
+}
+
+func (c *serverConn) handleCancel(tag int64, r *rbuf) {
+	target := r.i64()
+	if !r.done() {
+		c.sendErr(tag, fmt.Errorf("%w: malformed cancel", ErrBadRequest))
+		return
+	}
+	j := c.s.q.cancel(c.tenant, target)
+	if j != nil {
+		j.done(nil, ErrCanceled)
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.payload = append(c.payload[:0], statusOK)
+	if j != nil {
+		c.payload = append(c.payload, 1)
+	} else {
+		c.payload = append(c.payload, 0)
+	}
+	c.writeLocked(tag)
+}
+
+func (c *serverConn) handleStats(tag int64) {
+	st := c.s.Stats()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.payload = append(c.payload[:0], statusOK)
+	c.payload = st.encode(c.payload)
+	c.writeLocked(tag)
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mudbscan/internal/data"
+	"mudbscan/internal/mpi/nettrans"
+)
+
+// waitGoroutines polls until the goroutine count returns to within slack of
+// base, failing after the deadline — the PR 6 leak-regression pattern.
+func waitGoroutines(t *testing.T, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d alive, started with %d:\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonSoak hammers one daemon from many concurrent tenants with mixed
+// engines, ε-queries, cancellations and stats calls, then shuts down and
+// verifies no goroutine survives. Run under -race this is the concurrency
+// conformance test for the whole serving stack.
+func TestDaemonSoak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tenants, opsEach := 8, 40
+	if testing.Short() {
+		tenants, opsEach = 4, 10
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, QueuePerTenant: 4, QueueTotal: 16, ResultCacheSize: 8, IndexCacheSize: 4})
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	cases := data.ConformanceCases()[:3]
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + ti)))
+			cl, err := Dial("tcp", addr, fmt.Sprintf("tenant-%d", ti))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			ids := make([]DatasetID, len(cases))
+			for i, cc := range cases {
+				if ids[i], err = cl.Put(toRows(cc.Pts)); err != nil {
+					errs <- fmt.Errorf("tenant %d put: %w", ti, err)
+					return
+				}
+			}
+			engines := []struct {
+				e Engine
+				p int
+			}{{EngineSeq, 0}, {EngineShared, 1}, {EngineShared, 4}, {EngineDist, 4}, {EngineStream, 0}, {EngineAuto, 0}}
+			for op := 0; op < opsEach; op++ {
+				ci := rng.Intn(len(cases))
+				cc, id := cases[ci], ids[ci]
+				switch rng.Intn(6) {
+				case 0, 1: // synchronous clustering on a random engine
+					eg := engines[rng.Intn(len(engines))]
+					r, err := cl.Cluster(id, cc.Eps, cc.MinPts, eg.e, eg.p)
+					if err != nil {
+						// Backpressure rejections are part of the contract.
+						if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverloaded) {
+							continue
+						}
+						errs <- fmt.Errorf("tenant %d cluster %s: %w", ti, eg.e, err)
+						return
+					}
+					if len(r.Labels) != len(cc.Pts) {
+						errs <- fmt.Errorf("tenant %d: %d labels for %d points", ti, len(r.Labels), len(cc.Pts))
+						return
+					}
+					if r.Core != nil {
+						if err := r.Validate(); err != nil {
+							errs <- fmt.Errorf("tenant %d: served result invalid: %w", ti, err)
+							return
+						}
+					}
+				case 2: // submit then immediately cancel; both races are legal
+					p, err := cl.ClusterStart(id, cc.Eps+float64(op)*1e-9, cc.MinPts, EngineSeq, 0)
+					if err != nil {
+						errs <- err
+						return
+					}
+					canceled, err := cl.Cancel(p.Tag)
+					if err != nil {
+						errs <- err
+						return
+					}
+					r, err := p.Wait()
+					switch {
+					case canceled && !errors.Is(err, ErrCanceled):
+						errs <- fmt.Errorf("tenant %d: canceled job finished with (%v, %v)", ti, r, err)
+						return
+					case !canceled && err != nil && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrOverloaded):
+						errs <- fmt.Errorf("tenant %d: uncanceled job failed: %w", ti, err)
+						return
+					}
+				case 3:
+					if _, err := cl.EpsQuery(id, cc.Eps, cc.MinPts, cc.Pts[rng.Intn(len(cc.Pts))]); err != nil {
+						errs <- err
+						return
+					}
+				case 4:
+					if err := cl.Ping(); err != nil {
+						errs <- err
+						return
+					}
+				case 5:
+					if _, err := cl.Stats(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(ti)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.BadFrames != 0 {
+		t.Errorf("soak produced %d bad frames", st.BadFrames)
+	}
+	if st.JobsFailed != 0 {
+		t.Errorf("soak produced %d failed jobs", st.JobsFailed)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base, 2)
+}
+
+// TestDaemonSurvivesGarbage feeds the listener raw hostility — wrong magic,
+// oversized length, truncated frames, garbage ops — and verifies the daemon
+// drops those connections while continuing to serve a well-behaved tenant.
+func TestDaemonSurvivesGarbage(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, MaxFrame: 1 << 16})
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	good := dialTenant(t, addr, "good")
+
+	raw := func(t *testing.T, frame []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(frame); err != nil {
+			return // server already hung up; that is the expected fate
+		}
+		// The server must close the connection; reads must drain to EOF.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}
+
+	t.Run("wrong-magic", func(t *testing.T) {
+		raw(t, nettrans.EncodeFrame(0xDEADBEEF, 1, []byte{opPing}))
+	})
+	t.Run("oversized-frame", func(t *testing.T) {
+		hdr := nettrans.EncodeFrame(ReqMagic, 1, nil)
+		hdr[nettrans.HeaderLen-1] = 0xFF // length far beyond MaxFrame
+		hdr[nettrans.HeaderLen-2] = 0xFF
+		hdr[nettrans.HeaderLen-3] = 0xFF
+		raw(t, hdr)
+	})
+	t.Run("truncated-frame", func(t *testing.T) {
+		full := nettrans.EncodeFrame(ReqMagic, 1, append([]byte{opHello}, "trunc"...))
+		raw(t, full[:len(full)-3])
+	})
+	t.Run("op-before-hello", func(t *testing.T) {
+		raw(t, nettrans.EncodeFrame(ReqMagic, 1, []byte{opPing}))
+	})
+	t.Run("empty-payload", func(t *testing.T) {
+		raw(t, nettrans.EncodeFrame(ReqMagic, 1, nil))
+	})
+	t.Run("garbage-op-body", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.Write(nettrans.EncodeFrame(ReqMagic, 1, append([]byte{opHello}, "rude"...)))
+		// Malformed bodies after a valid hello get typed errors, not a hangup.
+		conn.Write(nettrans.EncodeFrame(ReqMagic, 2, []byte{opCluster, 1, 2, 3}))
+	})
+
+	// The well-behaved tenant must be completely unaffected.
+	if err := good.Ping(); err != nil {
+		t.Fatalf("good tenant broken after garbage: %v", err)
+	}
+	id, err := good.Put(toRows(data.AllNoiseCase()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.Cluster(id, 1.0, 3, EngineSeq, 0); err != nil {
+		t.Fatal(err)
+	}
+	good.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base, 2)
+}
+
+// TestDaemonShutdownFailsQueuedJobs closes the daemon under load: every
+// in-flight submission must resolve — result, typed rejection, or transport
+// error — and everything joins leak-free.
+func TestDaemonShutdownFailsQueuedJobs(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, QueuePerTenant: 64, QueueTotal: 64})
+	go srv.Serve(ln)
+
+	cl, err := Dial("tcp", ln.Addr().String(), "shutdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cc := data.ConformanceCases()[0]
+	id, err := cl.Put(toRows(cc.Pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pendings []*Pending
+	for i := 0; i < 24; i++ {
+		// Distinct ε per job defeats the result cache so each job really runs.
+		p, err := cl.ClusterStart(id, cc.Eps+float64(i)*1e-9, cc.MinPts, EngineDist, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var done, shutdown, transport int
+	for _, p := range pendings {
+		_, err := p.Wait()
+		switch {
+		case err == nil:
+			done++
+		case errors.Is(err, ErrShuttingDown):
+			shutdown++
+		default:
+			transport++
+		}
+	}
+	if done+shutdown+transport != len(pendings) {
+		t.Fatalf("accounted %d of %d jobs", done+shutdown+transport, len(pendings))
+	}
+	t.Logf("shutdown under load: %d completed, %d rejected shutting-down, %d transport", done, shutdown, transport)
+	waitGoroutines(t, base, 2)
+}

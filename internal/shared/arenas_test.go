@@ -1,0 +1,57 @@
+package shared
+
+import (
+	"math/rand"
+	"testing"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/dbscan"
+)
+
+// TestArenasReuseAcrossRuns pins the per-worker lend/return lifetime: every
+// covered worker's scratch comes back grown, back-to-back runs stay exact,
+// and warm buffers do not grow again on identical load.
+func TestArenasReuseAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pts := blobs(rng, 1200, 2, 3, 0.3, 0.2)
+	eps, minPts := 0.5, 5
+	want, _ := dbscan.Brute(pts, eps, minPts)
+
+	const workers = 4
+	arenas := make([]*core.Arena, workers)
+	for i := range arenas {
+		arenas[i] = &core.Arena{}
+	}
+	opts := Options{Workers: workers, Arenas: arenas}
+	for trial := 0; trial < 3; trial++ {
+		got, _ := Run(pts, eps, minPts, opts)
+		if err := clustering.Equivalent(want, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	warmed := 0
+	for w, a := range arenas {
+		if cap(a.Nbhd) > 0 {
+			warmed++
+		} else if cap(a.Inner) > 0 {
+			t.Fatalf("worker %d returned inner scratch without nbhd scratch", w)
+		}
+	}
+	if warmed == 0 {
+		t.Fatal("no worker arena came back warmed")
+	}
+}
+
+// TestArenasShorterThanWorkers: uncovered workers fall back to fresh
+// per-run scratch and the clustering is unchanged.
+func TestArenasShorterThanWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	pts := blobs(rng, 800, 3, 3, 0.3, 0.2)
+	eps, minPts := 0.5, 5
+	want, _ := dbscan.Brute(pts, eps, minPts)
+	got, _ := Run(pts, eps, minPts, Options{Workers: 6, Arenas: []*core.Arena{{}, nil, {}}})
+	if err := clustering.Equivalent(want, got); err != nil {
+		t.Fatal(err)
+	}
+}

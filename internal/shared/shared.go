@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
 	"mudbscan/internal/geom"
 	"mudbscan/internal/mc"
 	"mudbscan/internal/par"
@@ -41,6 +42,13 @@ type Options struct {
 	Workers int
 	// Fanout is the μR-tree node capacity.
 	Fanout int
+	// Arenas lends per-worker query scratch: worker w borrows Arenas[w] for
+	// the run and the grown buffers are handed back when Run completes, so a
+	// serving pool reuses warm scratch across jobs (see core.Arena). Extra
+	// entries are ignored; with fewer entries than workers the uncovered
+	// workers allocate fresh scratch. Each lent arena must not be used by
+	// anything else while the run executes.
+	Arenas []*core.Arena
 }
 
 // StepTimes records the wall-clock split of a shared-memory run over the
@@ -117,7 +125,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 	ix.ComputeReachable()
 	st.Steps.FindingReachable = time.Since(start)
 
-	s := newState(ix, eps, minPts, workers)
+	s := newState(ix, eps, minPts, workers, opts.Arenas)
 
 	// Step 3a: preliminary clusters from DMC/CMC, parallel over MCs. Each MC
 	// is handled by exactly one worker, so the per-MC wholeness flag is a
@@ -257,6 +265,7 @@ func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.R
 		comp[i] = s.uf.Find(i)
 		coreFlags[i] = s.core[i].Load()
 	})
+	s.releaseScratch(opts.Arenas)
 	return clustering.FromUnionLabels(comp, coreFlags), st
 }
 
@@ -308,9 +317,9 @@ type state struct {
 	mcWhole []bool
 }
 
-func newState(ix *mc.Index, eps float64, minPts, workers int) *state {
+func newState(ix *mc.Index, eps float64, minPts, workers int, arenas []*core.Arena) *state {
 	n := ix.Points.Len()
-	return &state{
+	s := &state{
 		set: ix.Points, kern: geom.KernelFor(ix.Dim),
 		eps: eps, minPts: minPts, ix: ix,
 		uf:         unionfind.NewConcurrent(n),
@@ -324,6 +333,24 @@ func newState(ix *mc.Index, eps float64, minPts, workers int) *state {
 		innerBufs:  make([][]bool, workers),
 		counters:   make([]workerCounters, workers),
 		mcWhole:    make([]bool, ix.NumMCs()),
+	}
+	for w := 0; w < workers && w < len(arenas); w++ {
+		if a := arenas[w]; a != nil {
+			s.nbhdBufs[w], s.innerBufs[w] = a.Nbhd[:0], a.Inner[:0]
+		}
+	}
+	return s
+}
+
+// releaseScratch hands each worker's (possibly grown) query scratch back to
+// its lent arena after every parallel section has completed — the per-worker
+// ownership that made the in-run appends safe also makes the hand-back a
+// plain copy of slice headers.
+func (s *state) releaseScratch(arenas []*core.Arena) {
+	for w := 0; w < len(s.nbhdBufs) && w < len(arenas); w++ {
+		if a := arenas[w]; a != nil {
+			a.Nbhd, a.Inner = s.nbhdBufs[w], s.innerBufs[w]
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ package mudbscan
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"mudbscan/internal/chaos"
 	"mudbscan/internal/clustering"
@@ -69,7 +70,35 @@ type config struct {
 	distSerial  bool
 	hardened    bool
 	faultSeed   *int64
+	scratch     *Scratch
 }
+
+// Scratch is reusable query-scratch storage lent to clustering runs: the
+// per-worker ε-query arenas of PR 3's allocation-free *Into tier, owned by
+// the caller instead of the run, so a long-lived worker (the mudbscand job
+// pool) keeps warm buffers across requests. Pass one Scratch per serving
+// worker via WithScratch; a Scratch must never be lent to two concurrent
+// runs. The zero value is not usable — construct with NewScratch.
+type Scratch struct {
+	arenas []*core.Arena
+}
+
+// NewScratch creates an empty scratch pool; runs grow it on demand.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grown returns the first n arenas, creating any that do not exist yet.
+func (s *Scratch) grown(n int) []*core.Arena {
+	for len(s.arenas) < n {
+		s.arenas = append(s.arenas, &core.Arena{})
+	}
+	return s.arenas[:n]
+}
+
+// WithScratch lends s to the run: Cluster borrows its first arena,
+// ClusterParallel one arena per worker. Grown buffers return to s when the
+// run completes. ClusterDistributed ignores it (each simulated rank owns
+// per-run scratch).
+func WithScratch(s *Scratch) Option { return func(c *config) { c.scratch = s } }
 
 // Option customizes a clustering run.
 type Option func(*config)
@@ -167,10 +196,14 @@ func ClusterWithStats(points [][]float64, eps float64, minPts int, opts ...Optio
 	if err != nil {
 		return nil, nil, err
 	}
-	r, st := core.Run(pts, eps, minPts, core.Options{
+	copts := core.Options{
 		Fanout:      cfg.fanout,
 		DisableWndq: cfg.disableWndq,
-	})
+	}
+	if cfg.scratch != nil {
+		copts.Arena = cfg.scratch.grown(1)[0]
+	}
+	r, st := core.Run(pts, eps, minPts, copts)
 	return r, st, nil
 }
 
@@ -186,10 +219,18 @@ func ClusterParallel(points [][]float64, eps float64, minPts int, opts ...Option
 	if err != nil {
 		return nil, nil, err
 	}
-	r, st := shared.Run(pts, eps, minPts, shared.Options{
+	sopts := shared.Options{
 		Workers: cfg.workers,
 		Fanout:  cfg.fanout,
-	})
+	}
+	if cfg.scratch != nil {
+		w := cfg.workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0) // shared.Run's own default
+		}
+		sopts.Arenas = cfg.scratch.grown(w)
+	}
+	r, st := shared.Run(pts, eps, minPts, sopts)
 	return r, st, nil
 }
 

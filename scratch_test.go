@@ -1,0 +1,49 @@
+package mudbscan_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mudbscan"
+)
+
+// TestWithScratchReuse drives the serving-pool pattern through the public
+// API: one Scratch lent to a sequence of mixed seq/parallel jobs, results
+// identical to scratch-free runs.
+func TestWithScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	rows := make([][]float64, 700)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 8, rng.Float64() * 8}
+	}
+	eps, minPts := 0.45, 4
+	scr := mudbscan.NewScratch()
+
+	wantSeq, err := mudbscan.Cluster(rows, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		got, err := mudbscan.Cluster(rows, eps, minPts, mudbscan.WithScratch(scr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantSeq.Labels, got.Labels) {
+			t.Fatalf("trial %d: scratch-lent sequential labels differ", trial)
+		}
+	}
+
+	wantPar, _, err := mudbscan.ClusterParallel(rows, eps, minPts, mudbscan.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := mudbscan.ClusterParallel(rows, eps, minPts,
+		mudbscan.WithWorkers(1), mudbscan.WithScratch(scr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantPar.Labels, got.Labels) {
+		t.Fatal("scratch-lent single-worker parallel labels differ")
+	}
+}
