@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mudbscan -eps 0.5 -minpts 5 [-mode seq|parallel|dist] [-ranks 8]
+//	mudbscan -eps 0.5 -minpts 5 [-mode seq|cell|auto|parallel|dist] [-ranks 8]
 //	         [-dist-serial] [-hardened] [-chaos-seed 3] [-workers 4]
 //	         [-net tcp|unix|launch] [-rank N] [-peers a,b,...]
 //	         [-in points.csv] [-out labels.txt] [-stats]
@@ -12,6 +12,11 @@
 // separated) or the compact binary format produced by datagen -format bin
 // (detected by extension .bin). "-" reads stdin. Labels are written one per
 // line: a cluster id in [0, #clusters) or -1 for noise.
+//
+// -mode seq is the sequential μR-tree engine, -mode cell the grid cell
+// engine (exact and byte-identical to seq, typically faster at low
+// dimensionality; -workers bounds its parallelism), and -mode auto profiles
+// the dataset and picks between them (-stats reports which engine ran).
 //
 // With -net, -mode dist leaves the single-process simulation: each rank is a
 // separate OS process and the ranks exchange messages over real sockets.
@@ -84,12 +89,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	var (
 		eps     = fs.Float64("eps", 0, "DBSCAN ε radius (required, > 0)")
 		minPts  = fs.Int("minpts", 5, "DBSCAN MinPts density threshold")
-		mode    = fs.String("mode", "seq", "execution mode: seq, parallel or dist")
+		mode    = fs.String("mode", "seq", "execution mode: seq, cell, auto, parallel or dist")
 		ranks   = fs.Int("ranks", 8, "simulated ranks for -mode dist (power of two)")
 		distSer = fs.Bool("dist-serial", false, "run -mode dist ranks one at a time (isolation timing) instead of concurrently")
 		harden  = fs.Bool("hardened", false, "wrap -mode dist messages in checksummed ack/retransmit envelopes")
 		chSeed  = fs.Int64("chaos-seed", 0, "inject deterministic network faults into -mode dist from this seed (0 = off; implies -hardened)")
-		workers = fs.Int("workers", 0, "goroutines for -mode parallel (0 = GOMAXPROCS)")
+		workers = fs.Int("workers", 0, "goroutines for -mode parallel, cell and auto (0 = GOMAXPROCS)")
 		inPath  = fs.String("in", "-", "input dataset (CSV, or .bin binary; - = stdin)")
 		outPath = fs.String("out", "-", "output labels file (- = stdout)")
 		stats   = fs.Bool("stats", false, "print run statistics to stderr")
@@ -155,6 +160,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 			fmt.Fprintf(stderr, "n=%d m=%d queries=%d saved=%d (%.2f%%) time=%v\n",
 				len(pts), st.NumMCs, st.Queries, st.QueriesSaved, st.QuerySavedPct(), time.Since(start))
 		}
+	case "cell", "auto":
+		engine := mudbscan.EngineCell
+		if *mode == "auto" {
+			engine = mudbscan.EngineAuto
+		}
+		var st *mudbscan.SeqStats
+		result, st, err = mudbscan.ClusterWithStats(rows, *eps, *minPts,
+			mudbscan.WithEngine(engine), mudbscan.WithWorkers(*workers))
+		if err == nil && *stats {
+			if *mode == "auto" {
+				fmt.Fprintf(stderr, "engine=%s\n", mudbscan.ChooseEngine(rows, *eps, *minPts))
+			}
+			// m is cells under the cell engine, micro-clusters under μR-tree.
+			fmt.Fprintf(stderr, "n=%d m=%d queries=%d saved=%d (%.2f%%) time=%v\n",
+				len(pts), st.NumMCs, st.Queries, st.QueriesSaved, st.QuerySavedPct(), time.Since(start))
+		}
 	case "parallel":
 		var st *mudbscan.ParStats
 		result, st, err = mudbscan.ClusterParallel(rows, *eps, *minPts, mudbscan.WithWorkers(*workers))
@@ -195,7 +216,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 			}
 		}
 	default:
-		return usagef("unknown -mode %q (want seq, parallel or dist)", *mode)
+		return usagef("unknown -mode %q (want seq, cell, auto, parallel or dist)", *mode)
 	}
 	if err != nil {
 		return err

@@ -71,7 +71,7 @@ func TestClusterFromStdinToStdout(t *testing.T) {
 }
 
 func TestModes(t *testing.T) {
-	for _, mode := range []string{"parallel", "dist"} {
+	for _, mode := range []string{"cell", "auto", "parallel", "dist"} {
 		var stdout, stderr bytes.Buffer
 		err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", mode, "-ranks", "2", "-stats"},
 			strings.NewReader(squareCSV), &stdout, &stderr)
@@ -81,6 +81,35 @@ func TestModes(t *testing.T) {
 		if len(strings.Fields(stdout.String())) != 9 {
 			t.Fatalf("mode %s stdout: %q", mode, stdout.String())
 		}
+	}
+}
+
+// TestCellModeMatchesSeq: the grid engine must emit exactly the labels the
+// default engine does, and -mode auto -stats must name the engine it picked
+// (the square CSV is 2-D, so the selector lands on cell).
+func TestCellModeMatchesSeq(t *testing.T) {
+	var seqOut, cellOut, autoOut, stderr bytes.Buffer
+	if err := run([]string{"-eps", "0.5", "-minpts", "3"},
+		strings.NewReader(squareCSV), &seqOut, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", "cell", "-workers", "2"},
+		strings.NewReader(squareCSV), &cellOut, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if seqOut.String() != cellOut.String() {
+		t.Fatalf("cell labels differ from seq:\n%q\n%q", seqOut.String(), cellOut.String())
+	}
+	stderr.Reset()
+	if err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", "auto", "-stats"},
+		strings.NewReader(squareCSV), &autoOut, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if seqOut.String() != autoOut.String() {
+		t.Fatal("auto labels differ from seq")
+	}
+	if !strings.Contains(stderr.String(), "engine=cell") {
+		t.Fatalf("auto -stats must report the picked engine: %q", stderr.String())
 	}
 }
 

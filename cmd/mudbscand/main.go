@@ -7,7 +7,7 @@
 //	mudbscand serve   -addr :9099 [-net tcp|unix] [-workers 4]
 //	                  [-queue 64] [-queue-tenant 8] [-cache 128]
 //	mudbscand cluster -addr host:port -eps 0.5 -minpts 5
-//	                  [-engine auto|seq|shared|dist|stream] [-param N]
+//	                  [-engine auto|seq|shared|dist|stream|cell] [-param N]
 //	                  [-tenant name] [-in points.csv] [-out labels.txt]
 //	mudbscand query   -addr host:port -eps 0.5 -minpts 5 -point 1.0,2.0
 //	                  [-tenant name] [-in points.csv]
@@ -156,7 +156,7 @@ func runClient(sub string, args []string, stdin io.Reader, stdout, stderr io.Wri
 		tenant = fs.String("tenant", "cli", "tenant name for fairness accounting")
 		eps    = fs.Float64("eps", 0, "DBSCAN ε radius")
 		minPts = fs.Int("minpts", 5, "DBSCAN MinPts density threshold")
-		engine = fs.String("engine", "auto", "engine: auto, seq, shared, dist or stream")
+		engine = fs.String("engine", "auto", "engine: auto, seq, shared, dist, stream or cell")
 		param  = fs.Int("param", 0, "engine parameter: shared workers or dist ranks (0 = engine default)")
 		point  = fs.String("point", "", "query point for the query subcommand (comma-separated)")
 		inPath = fs.String("in", "-", "input dataset (CSV, or .bin binary; - = stdin)")

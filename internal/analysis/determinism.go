@@ -23,7 +23,7 @@ import (
 //	determinism/rand — the global math/rand source in an algorithm package.
 //
 // Algorithm packages are the ones whose output feeds the clustering:
-// geom, mc, core, shared, dist, unionfind, rtree, kdtree, partition.
+// geom, mc, core, cell, shared, dist, unionfind, rtree, kdtree, partition.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "flags map-iteration-order leaks, wall-clock reads and global RNG use",
@@ -33,8 +33,9 @@ var DeterminismAnalyzer = &Analyzer{
 // algorithmPkgs are matched by package name so the golden fixtures (which
 // live outside the module) exercise the same predicate as the real tree.
 var algorithmPkgs = map[string]bool{
-	"geom": true, "mc": true, "core": true, "shared": true, "dist": true,
-	"unionfind": true, "rtree": true, "kdtree": true, "partition": true,
+	"geom": true, "mc": true, "core": true, "cell": true, "shared": true,
+	"dist": true, "unionfind": true, "rtree": true, "kdtree": true,
+	"partition": true,
 }
 
 func runDeterminism(pass *Pass) {

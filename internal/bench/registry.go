@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"kernels", "flattened hot-path layout vs legacy (kernel + block-scan speedups)", Kernels},
 		{"chaos", "hardened-transport overhead and fault absorption (DESIGN.md §11)", Chaos},
 		{"daemon", "clustering-as-a-service cold/cached jobs and ε-query serving (DESIGN.md §14)", Daemon},
+		{"engines", "cross-engine head-to-head: brute vs μR-tree vs grid cell, with the auto-selector's pick (DESIGN.md §15)", Engines},
 	}
 }
 

@@ -1,0 +1,269 @@
+// Package cell implements the grid-based exact DBSCAN engine: the
+// second-generation engine the ROADMAP names, built from the cell
+// decomposition of Wang–Gu–Shun (arXiv 1912.06255) with GriT-DBSCAN's
+// sparse non-empty-cell table (arXiv 2210.07580) in place of a dense
+// d-dimensional array.
+//
+// The grid has cells of side ε/√d, so any two points sharing a cell are
+// strictly within ε of each other. The engine runs in five phases:
+//
+//  1. Build: every point is assigned integer cell coordinates, the points
+//     are reordered into contiguous per-cell blocks of a geom.PointSet
+//     (sorted by cell, then by original id), and the non-empty cells form a
+//     lexicographically sorted coordinate table — no dense array, so the
+//     grid costs O(n) regardless of how sparse the data is.
+//  2. Adjacency: for each non-empty cell, the cells whose minimum box
+//     distance is within ε are enumerated by descending the sorted table
+//     one coordinate level at a time (an implicit grid-tree: each level is
+//     a binary-searchable run of sorted values), pruning on the
+//     accumulated minimum distance. The flat adjacency lists make the
+//     per-point scan leaf allocation-free.
+//  3. Mark: a cell with ≥ minPts points makes all its points core without
+//     any distance computation (the same-cell shortcut); sparse cells
+//     count each point's ε-neighbors with one block-kernel scan over the
+//     adjacent cells. Parallel over cells.
+//  4. Connect: cells are vertices of a union-find forest
+//     (unionfind.Concurrent); two cells with core points merge as soon as
+//     one core–core pair lies strictly within ε. Same-cell cores are
+//     connected by construction. Parallel over cells.
+//  5. Assign: every non-core point joins the component of its
+//     minimum-original-id core neighbor — exactly the tie rule the brute
+//     force union-find driver produces — or stays noise.
+//
+// The result is byte-identical to dbscan.Brute at any worker count: the
+// same core flags (the kernels are bit-identical to DistSq), the same
+// component partition, and therefore the same labels after
+// clustering.FromUnionLabels numbering.
+package cell
+
+import (
+	"math"
+	"sort"
+
+	"mudbscan/internal/geom"
+	"mudbscan/internal/par"
+)
+
+// sideShrink keeps the cell diagonal strictly below ε: with side exactly
+// ε/√d a same-cell pair could sit at distance ε (excluded by the open
+// neighborhood), breaking the all-core shortcut. The 1e-12 relative shrink
+// leaves the diagonal at ε(1-1e-12) — three orders of magnitude more margin
+// than the ~1e-15 relative rounding of the distance kernels.
+const sideShrink = 1 - 1e-12
+
+// adjSlack widens the adjacency min-distance cutoff so float rounding in
+// the (|Δ|−1)·side gap arithmetic can never drop a cell that holds a true
+// ε-neighbor. Over-inclusion is harmless: point membership is always decided
+// by the exact kernels.
+const adjSlack = 1 + 1e-9
+
+// cellSide is the grid pitch for the given parameters.
+func cellSide(eps float64, dim int) float64 {
+	return eps / math.Sqrt(float64(dim)) * sideShrink
+}
+
+// cellCoord maps one coordinate to its integer cell index on the grid.
+func cellCoord(v, side float64) int64 {
+	return int64(math.Floor(v / side))
+}
+
+// index is the built grid: the per-cell reordered point set, the sorted
+// non-empty-cell table, and the precomputed cell adjacency.
+type index struct {
+	set  *geom.PointSet
+	dim  int
+	side float64
+	eps2 float64
+	cut  float64 // eps²·adjSlack, the adjacency min-distance cutoff
+	r    int64   // Chebyshev cell radius of the adjacency window
+
+	ids    []int32 // ids[pos] = original id; ascending within each cell
+	posIDs []int   // identity permutation, sliced per block for AppendWithinBlock
+	cellOf []int32 // cellOf[pos] = index of the cell holding position pos
+
+	coords []int64 // cells×dim integer cell coordinates, lexicographically sorted
+	start  []int32 // cells+1 prefix: cell c holds positions [start[c], start[c+1])
+
+	adj    []int32 // concatenated neighbor-cell lists (self included), ascending
+	adjOff []int32 // cells+1 offsets into adj
+}
+
+func (ix *index) numCells() int { return len(ix.start) - 1 }
+
+// build assigns cells, reorders the points into per-cell blocks and erects
+// the sorted cell table. Adjacency is computed separately (buildAdjacency)
+// so the two phases can be timed apart.
+func build(pts []geom.Point, eps float64) *index {
+	n := len(pts)
+	dim := len(pts[0])
+	ix := &index{
+		dim:  dim,
+		side: cellSide(eps, dim),
+		eps2: eps * eps,
+	}
+	ix.cut = ix.eps2 * adjSlack
+	ix.r = int64(math.Ceil(eps/ix.side)) + 1
+
+	// Integer cell coordinates per point, in original order.
+	ptc := make([]int64, n*dim)
+	for i, p := range pts {
+		for j, v := range p {
+			ptc[i*dim+j] = cellCoord(v, ix.side)
+		}
+	}
+
+	// Sort positions by (cell tuple, original id): a strict total order, so
+	// the non-stable sort is deterministic, and ids ascend within each cell.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		ca := ptc[pa*dim : pa*dim+dim]
+		cb := ptc[pb*dim : pb*dim+dim]
+		for j := 0; j < dim; j++ {
+			if ca[j] != cb[j] {
+				return ca[j] < cb[j]
+			}
+		}
+		return pa < pb
+	})
+
+	// Reorder the coordinates into contiguous per-cell blocks and walk the
+	// sorted order once to carve out the cell table.
+	ix.set = geom.NewPointSet(dim, n)
+	ix.ids = make([]int32, n)
+	ix.posIDs = make([]int, n)
+	ix.cellOf = make([]int32, n)
+	for pos, orig := range perm {
+		ix.set.Append(pts[orig])
+		ix.ids[pos] = int32(orig)
+		ix.posIDs[pos] = pos
+	}
+	for pos := 0; pos < n; pos++ {
+		orig := perm[pos]
+		newCell := pos == 0
+		if !newCell {
+			prev := perm[pos-1]
+			for j := 0; j < dim; j++ {
+				if ptc[orig*dim+j] != ptc[prev*dim+j] {
+					newCell = true
+					break
+				}
+			}
+		}
+		if newCell {
+			ix.start = append(ix.start, int32(pos))
+			ix.coords = append(ix.coords, ptc[orig*dim:orig*dim+dim]...)
+		}
+		ix.cellOf[pos] = int32(len(ix.start) - 1)
+	}
+	ix.start = append(ix.start, int32(n))
+	return ix
+}
+
+// buildAdjacency precomputes, for every cell, the ascending list of cells
+// (self included) whose minimum box distance is within the slackened ε.
+// Hoisting this out of the per-point scan is what lets the scan leaf run
+// without scratch: it only walks a flat list. Parallel over cells; each
+// cell's list is computed independently, so the flattened result is
+// deterministic at any worker count.
+func (ix *index) buildAdjacency(workers int) {
+	cells := ix.numCells()
+	lists := make([][]int32, cells)
+	par.For(workers, cells, func(_, c int) {
+		lists[c] = ix.appendCellNeighbors(nil, c)
+	})
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	ix.adj = make([]int32, 0, total)
+	ix.adjOff = make([]int32, cells+1)
+	for c, l := range lists {
+		ix.adj = append(ix.adj, l...)
+		ix.adjOff[c+1] = int32(len(ix.adj))
+	}
+}
+
+// appendCellNeighbors appends to dst every cell index whose minimum box
+// distance to cell c is within the slackened ε, in ascending order.
+func (ix *index) appendCellNeighbors(dst []int32, c int) []int32 {
+	cc := ix.coords[c*ix.dim : c*ix.dim+ix.dim]
+	return ix.descend(dst, cc, 0, 0, ix.numCells(), 0)
+}
+
+// descend walks one level of the implicit grid-tree: within the sorted cell
+// range [lo, hi) (all sharing a coordinate prefix above level), the values
+// at this level form sorted runs. It binary-searches the window
+// [cc[level]−r, cc[level]+r], accumulates each run's per-axis minimum gap
+// into acc2 and recurses while the accumulated distance can still reach ε.
+// At level == dim the range is a single fully-matched cell.
+func (ix *index) descend(dst []int32, cc []int64, level, lo, hi int, acc2 float64) []int32 {
+	if level == ix.dim {
+		for c := lo; c < hi; c++ {
+			dst = append(dst, int32(c))
+		}
+		return dst
+	}
+	i := ix.lowerBound(level, lo, hi, cc[level]-ix.r)
+	for i < hi {
+		v := ix.coords[i*ix.dim+level]
+		if v > cc[level]+ix.r {
+			break
+		}
+		j := ix.lowerBound(level, i, hi, v+1)
+		dv := v - cc[level]
+		if dv < 0 {
+			dv = -dv
+		}
+		a2 := acc2
+		if dv > 0 {
+			// Points in cells dv apart on this axis differ by at least
+			// (dv−1)·side in that coordinate.
+			g := float64(dv-1) * ix.side
+			a2 += g * g
+		}
+		if a2 <= ix.cut {
+			dst = ix.descend(dst, cc, level+1, i, j, a2)
+		}
+		i = j
+	}
+	return dst
+}
+
+// lowerBound returns the first index k in [lo, hi) whose coordinate at the
+// given level is ≥ v. The range must be sorted at that level, which every
+// equal-prefix range of the lexicographically sorted table is.
+func (ix *index) lowerBound(level, lo, hi int, v int64) int {
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ix.coords[m*ix.dim+level] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// neighborsInto appends to dst the position (not original id) of every point
+// strictly within ε of position p — p itself included — and returns the
+// grown dst plus the number of candidate rows scanned. One call per queried
+// point: it walks p's precomputed adjacent cells and hands each contiguous
+// block to the dimension-specialized kernel scan. Appended positions ascend
+// (cells ascend, positions ascend within a cell).
+//
+//mulint:noalloc per-point neighbor-scan leaf; static twin of the cell TestNeighborsIntoZeroAllocs AllocsPerRun gate
+func (ix *index) neighborsInto(dst []int, p int) ([]int, int) {
+	row := ix.set.Row(p)
+	scanned := 0
+	c := int(ix.cellOf[p])
+	for _, nc := range ix.adj[ix.adjOff[c]:ix.adjOff[c+1]] {
+		lo, hi := int(ix.start[nc]), int(ix.start[nc+1])
+		dst = geom.AppendWithinBlock(dst, ix.posIDs[lo:hi], ix.set.Block(lo, hi), ix.dim, row, ix.eps2, false)
+		scanned += hi - lo
+	}
+	return dst, scanned
+}

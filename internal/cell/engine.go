@@ -1,0 +1,259 @@
+package cell
+
+import (
+	"runtime"
+	"time"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/par"
+	"mudbscan/internal/unionfind"
+
+	"mudbscan/internal/geom"
+)
+
+// Options tunes a cell-engine run. The zero value uses GOMAXPROCS workers
+// and run-owned scratch.
+type Options struct {
+	// Workers is the goroutine count for the parallel phases (≤0 =
+	// GOMAXPROCS). The clustering is byte-identical at any worker count.
+	Workers int
+	// Arenas lends caller-owned per-worker query scratch (one Arena per
+	// worker, only Nbhd is used); grown buffers return to the caller so a
+	// serving worker keeps them warm across jobs. Shorter-than-Workers (or
+	// nil) falls back to run-owned scratch for the missing workers.
+	Arenas []*core.Arena
+}
+
+// StepTimes is the wall-clock split over the engine's five phases.
+type StepTimes struct {
+	Build     time.Duration // cell assignment, sort, point reorder, cell table
+	Adjacency time.Duration // neighbor-cell list precomputation
+	Mark      time.Duration // core marking (dense shortcut + sparse scans)
+	Connect   time.Duration // cell-graph union-find
+	Assign    time.Duration // border assignment
+}
+
+// Total returns the sum of all step durations.
+func (s StepTimes) Total() time.Duration {
+	return s.Build + s.Adjacency + s.Mark + s.Connect + s.Assign
+}
+
+// Stats reports the work a cell-engine run performed.
+type Stats struct {
+	// Cells is the number of non-empty grid cells.
+	Cells int
+	// DenseCells counts cells holding ≥ minPts points, whose members are
+	// all core with zero distance computations.
+	DenseCells int
+	// Queries is the number of per-point neighborhood scans run while
+	// marking cores; QueriesSaved counts the points proven core by the
+	// same-cell shortcut instead.
+	Queries      int
+	QueriesSaved int
+	// DistCalcs counts candidate rows scanned by the distance kernels
+	// across all phases. Connect-phase scans stop at the first linking
+	// pair and skip already-merged cells, so this count may vary slightly
+	// between runs at workers > 1; the clustering never does.
+	DistCalcs int64
+	// Workers is the resolved worker count.
+	Workers int
+	// Steps is the wall-clock phase split.
+	Steps StepTimes
+}
+
+// QuerySavedPct returns the percentage of potential queries saved.
+func (s *Stats) QuerySavedPct() float64 {
+	total := s.Queries + s.QueriesSaved
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.QueriesSaved) / float64(total)
+}
+
+// ctrStride spaces the per-worker counters a cache line apart so the hot
+// phases don't false-share.
+const ctrStride = 8
+
+// Run clusters pts with the grid cell engine and returns the exact DBSCAN
+// result — byte-identical to dbscan.Brute for every input — plus run
+// statistics.
+func Run(pts []geom.Point, eps float64, minPts int, opts Options) (*clustering.Result, *Stats) {
+	st := &Stats{}
+	if len(pts) == 0 {
+		return &clustering.Result{}, st
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st.Workers = workers
+	n := len(pts)
+
+	t0 := time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+	ix := build(pts, eps)
+	st.Steps.Build = time.Since(t0)
+	st.Cells = ix.numCells()
+
+	t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+	ix.buildAdjacency(workers)
+	st.Steps.Adjacency = time.Since(t0)
+
+	// Per-worker scratch: the ε-neighborhood position buffer, lent from the
+	// caller's arenas when provided.
+	nbhds := make([][]int, workers)
+	for w := range nbhds {
+		if w < len(opts.Arenas) && opts.Arenas[w] != nil {
+			nbhds[w] = opts.Arenas[w].Nbhd
+		}
+	}
+	defer func() {
+		for w := range nbhds {
+			if w < len(opts.Arenas) && opts.Arenas[w] != nil {
+				opts.Arenas[w].Nbhd = nbhds[w]
+			}
+		}
+	}()
+
+	cells := ix.numCells()
+	corePos := make([]bool, n)        // core flag, by position
+	coreCount := make([]int32, cells) // cores per cell
+	dist := make([]int64, workers*ctrStride)
+	queries := make([]int64, workers*ctrStride)
+	saved := make([]int64, workers*ctrStride)
+	dense := make([]int64, workers*ctrStride)
+
+	// Mark: dense cells are all core for free; sparse cells run one
+	// neighbor scan per point.
+	t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+	par.For(workers, cells, func(w, c int) {
+		lo, hi := int(ix.start[c]), int(ix.start[c+1])
+		if hi-lo >= minPts {
+			for p := lo; p < hi; p++ {
+				corePos[p] = true
+			}
+			coreCount[c] = int32(hi - lo)
+			saved[w*ctrStride] += int64(hi - lo)
+			dense[w*ctrStride]++
+			return
+		}
+		nb := nbhds[w]
+		cnt := int32(0)
+		for p := lo; p < hi; p++ {
+			var scanned int
+			nb, scanned = ix.neighborsInto(nb[:0], p)
+			dist[w*ctrStride] += int64(scanned)
+			queries[w*ctrStride]++
+			if len(nb) >= minPts {
+				corePos[p] = true
+				cnt++
+			}
+		}
+		nbhds[w] = nb
+		coreCount[c] = cnt
+	})
+	st.Steps.Mark = time.Since(t0)
+	for w := 0; w < workers; w++ {
+		st.Queries += int(queries[w*ctrStride])
+		st.QueriesSaved += int(saved[w*ctrStride])
+		st.DenseCells += int(dense[w*ctrStride])
+	}
+
+	// Connect: union cells linked by a core–core pair strictly within ε.
+	// Same-cell cores share a union-find element by construction. Scanning
+	// only b > a covers every pair once (adjacency is symmetric); the Same
+	// pre-check skips pair scans between already-merged cells.
+	t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+	uf := unionfind.NewConcurrent(cells)
+	kern := geom.KernelFor(ix.dim)
+	par.For(workers, cells, func(w, a int) {
+		if coreCount[a] == 0 {
+			return
+		}
+		loA, hiA := int(ix.start[a]), int(ix.start[a+1])
+		for _, nb := range ix.adj[ix.adjOff[a]:ix.adjOff[a+1]] {
+			b := int(nb)
+			if b <= a || coreCount[b] == 0 || uf.Same(a, b) {
+				continue
+			}
+			loB, hiB := int(ix.start[b]), int(ix.start[b+1])
+		pairScan:
+			for x := loA; x < hiA; x++ {
+				if !corePos[x] {
+					continue
+				}
+				rowX := ix.set.Row(x)
+				for y := loB; y < hiB; y++ {
+					if !corePos[y] {
+						continue
+					}
+					dist[w*ctrStride]++
+					if kern(rowX, ix.set.Row(y)) < ix.eps2 {
+						uf.Union(a, b)
+						break pairScan
+					}
+				}
+			}
+		}
+	})
+	st.Steps.Connect = time.Since(t0)
+
+	// Assign: every non-core point joins the component of its
+	// minimum-original-id core neighbor — the brute-force driver's tie rule
+	// — or stays noise. Cells that are entirely core have nothing to do.
+	t0 = time.Now() //mulint:allow determinism/time stats timing; never reaches clustering output
+	target := make([]int32, n)
+	for i := range target {
+		target[i] = -1
+	}
+	par.For(workers, cells, func(w, c int) {
+		lo, hi := int(ix.start[c]), int(ix.start[c+1])
+		if int(coreCount[c]) == hi-lo {
+			return
+		}
+		nb := nbhds[w]
+		for p := lo; p < hi; p++ {
+			if corePos[p] {
+				continue
+			}
+			var scanned int
+			nb, scanned = ix.neighborsInto(nb[:0], p)
+			dist[w*ctrStride] += int64(scanned)
+			best := int32(-1)
+			var bestCell int32
+			for _, q := range nb {
+				if corePos[q] && (best < 0 || ix.ids[q] < best) {
+					best = ix.ids[q]
+					bestCell = ix.cellOf[q]
+				}
+			}
+			if best >= 0 {
+				target[p] = bestCell
+			}
+		}
+		nbhds[w] = nb
+	})
+	st.Steps.Assign = time.Since(t0)
+	for w := 0; w < workers; w++ {
+		st.DistCalcs += dist[w*ctrStride]
+	}
+
+	// Fold positions back to original ids. Clustered points carry their
+	// cell's component offset past n so noise singletons (component = own
+	// id) can never collide with it.
+	comp := make([]int, n)
+	coreOrig := make([]bool, n)
+	for p := 0; p < n; p++ {
+		orig := int(ix.ids[p])
+		coreOrig[orig] = corePos[p]
+		switch {
+		case corePos[p]:
+			comp[orig] = n + uf.Find(int(ix.cellOf[p]))
+		case target[p] >= 0:
+			comp[orig] = n + uf.Find(int(target[p]))
+		default:
+			comp[orig] = orig
+		}
+	}
+	return clustering.FromUnionLabels(comp, coreOrig), st
+}

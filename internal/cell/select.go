@@ -1,0 +1,129 @@
+package cell
+
+import "sort"
+
+// maxProfileSample bounds the sample pass of the auto-selector: a stride
+// sample of ≤1024 points is hashed to cells, so profiling costs O(sample)
+// regardless of n.
+const maxProfileSample = 1024
+
+// Profile summarizes the cheap dataset statistics the engine auto-selector
+// inspects: dimensionality, size, and the cell-occupancy distribution of a
+// bounded deterministic sample under this engine's own ε/√d grid.
+type Profile struct {
+	// N and Dim are the dataset size and dimensionality; MinPts is the run's
+	// density threshold.
+	N, Dim, MinPts int
+	// SampleSize is the number of points profiled (≤ maxProfileSample,
+	// stride-sampled so the sample spans the input order deterministically).
+	SampleSize int
+	// SampleCells is the number of distinct non-empty cells the sample
+	// occupies; MaxOccupancy is the largest single-cell sample count — the
+	// occupancy-skew signal (hot cells make the same-cell shortcut carry the
+	// run even at moderate dimensionality).
+	SampleCells  int
+	MaxOccupancy int
+}
+
+// MeanOccupancy returns the average sampled points per occupied cell.
+func (p Profile) MeanOccupancy() float64 {
+	if p.SampleCells == 0 {
+		return 0
+	}
+	return float64(p.SampleSize) / float64(p.SampleCells)
+}
+
+// OccupancySkew returns MaxOccupancy over MeanOccupancy (1 when uniform).
+func (p Profile) OccupancySkew() float64 {
+	m := p.MeanOccupancy()
+	if m == 0 {
+		return 0
+	}
+	return float64(p.MaxOccupancy) / m
+}
+
+// Sample profiles pts for the auto-selector. It is deterministic: the
+// stride sample and the sorted-run cell counting involve no map iteration
+// and no randomness. pts must be rectangular with finite coordinates (the
+// mudbscan entry points validate; an empty input yields a zero Profile).
+func Sample[P ~[]float64](pts []P, eps float64, minPts int) Profile {
+	p := Profile{N: len(pts), MinPts: minPts}
+	if len(pts) == 0 || len(pts[0]) == 0 {
+		return p
+	}
+	p.Dim = len(pts[0])
+	side := cellSide(eps, p.Dim)
+
+	k := len(pts)
+	if k > maxProfileSample {
+		k = maxProfileSample
+	}
+	stride := len(pts) / k
+	sc := make([]int64, 0, k*p.Dim)
+	for i := 0; i < k; i++ {
+		row := pts[i*stride]
+		for _, v := range row {
+			sc = append(sc, cellCoord(v, side))
+		}
+	}
+	p.SampleSize = k
+
+	// Count distinct cells and the hottest one by sorting the sample keys
+	// and walking the runs.
+	dim := p.Dim
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca := sc[idx[a]*dim : idx[a]*dim+dim]
+		cb := sc[idx[b]*dim : idx[b]*dim+dim]
+		for j := 0; j < dim; j++ {
+			if ca[j] != cb[j] {
+				return ca[j] < cb[j]
+			}
+		}
+		return false
+	})
+	run := 0
+	for i := 0; i < k; i++ {
+		if i == 0 || !sameCoords(sc, idx[i-1], idx[i], dim) {
+			p.SampleCells++
+			run = 0
+		}
+		run++
+		if run > p.MaxOccupancy {
+			p.MaxOccupancy = run
+		}
+	}
+	return p
+}
+
+func sameCoords(sc []int64, a, b, dim int) bool {
+	for j := 0; j < dim; j++ {
+		if sc[a*dim+j] != sc[b*dim+j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide reports whether the cell engine should be preferred over the
+// μR-tree engine for data with this profile. The rule follows the
+// head-to-head measurements (EXPERIMENTS.md §Engines): the grid wins
+// outright at low dimensionality, its (2r+1)^d neighbor-cell enumeration
+// loses past d≈7, and in between it pays off only when cells are populated
+// enough for the same-cell shortcut to carry the run.
+func Decide(p Profile) bool {
+	if p.N == 0 || p.Dim == 0 {
+		return false
+	}
+	switch {
+	case p.Dim <= 3:
+		return true
+	case p.Dim > 7:
+		return false
+	default:
+		return p.MeanOccupancy() >= float64(p.MinPts)
+	}
+}

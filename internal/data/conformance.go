@@ -1,17 +1,20 @@
 package data
 
 import (
+	"math"
 	"math/rand"
 
 	"mudbscan/internal/geom"
 )
 
 // ConformanceCase is one entry of the repo-wide conformance table: a seeded
-// dataset plus the DBSCAN parameters it is clustered with. The seven cases
+// dataset plus the DBSCAN parameters it is clustered with. The nine cases
 // cover the regimes where exact-DBSCAN implementations historically diverge —
 // overlapping blobs, uniform background, partition-hostile skew, an all-noise
-// set, an exact border tie, and an integer lattice with duplicates whose many
-// at-exactly-ε pairs must be excluded identically by every engine.
+// set, an exact border tie, an integer lattice with duplicates whose many
+// at-exactly-ε pairs must be excluded identically by every engine, and two
+// grid-adversarial sets (every point exactly on an ε/√d cell boundary; one
+// hot cell plus a sparse halo) aimed at the cell engine's decomposition.
 //
 // Every serving surface is held to the same bar against this table: the
 // distributed suite (serial↔concurrent↔sockets byte-identity, PR 2/PR 6) and
@@ -36,7 +39,50 @@ func ConformanceCases() []ConformanceCase {
 		{"all-noise", AllNoiseCase(), 1.0, 3},
 		{"border-tie-1d", BorderTieCase(), 1.25, 4},
 		{"lattice-dup-2d", LatticeDupCase(), 2.0, 6},
+		{"cell-boundary-lattice-2d", CellBoundaryLatticeCase(), 1.0, 5},
+		{"hot-cell-skew-2d", HotCellSkewCase(), 1.0, 5},
 	}
+}
+
+// CellBoundaryLatticeCase is a 14×14 lattice with spacing exactly ε/√2 —
+// the cell side a grid-based engine uses at ε=1, d=2 — so every point sits
+// exactly on a cell boundary and every cell holds exactly one point (no
+// dense-cell shortcut anywhere). The construction is float-adversarial on
+// purpose: k·(ε/√2) steps accumulate rounding, so diagonal pairs land below,
+// exactly at, and above ε² depending on lattice position (the geometry test
+// pins all three kinds exist). Every engine must resolve each pair through
+// the same bit-identical kernels or its labels diverge.
+func CellBoundaryLatticeCase() []geom.Point {
+	u := 1.0 / math.Sqrt2
+	var pts []geom.Point
+	for x := 0; x < 14; x++ {
+		for y := 0; y < 14; y++ {
+			pts = append(pts, geom.Point{float64(x) * u, float64(y) * u})
+		}
+	}
+	return pts
+}
+
+// HotCellSkewCase is maximal occupancy skew for a grid engine at ε=1, d=2:
+// a 64-point mini-grid packed inside a single ε/√2 cell (all core via the
+// dense-cell shortcut, zero queries), a three-point chain walking away from
+// it at 0.7 spacing — the first chain point is itself core through the hot
+// mass, the second is a border claimed across cells, the third is noise —
+// and 36 halo points on a radius-7 circle, pairwise farther than ε apart,
+// all noise.
+func HotCellSkewCase() []geom.Point {
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, geom.Point{0.05 + float64(i)*0.07, 0.05 + float64(j)*0.07})
+		}
+	}
+	pts = append(pts, geom.Point{1.2, 0.1}, geom.Point{1.9, 0.1}, geom.Point{2.6, 0.1})
+	for k := 0; k < 36; k++ {
+		th := 2 * math.Pi * float64(k) / 36
+		pts = append(pts, geom.Point{7 * math.Cos(th), 7 * math.Sin(th)})
+	}
+	return pts
 }
 
 // BorderTieCase builds the classic ambiguous border point: two separate

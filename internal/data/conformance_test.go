@@ -16,6 +16,7 @@ func TestConformanceTablePinned(t *testing.T) {
 	wantNames := []string{
 		"blobs-3d", "blobs-2d-small-eps", "uniform-2d", "skewed-3d",
 		"all-noise", "border-tie-1d", "lattice-dup-2d",
+		"cell-boundary-lattice-2d", "hot-cell-skew-2d",
 	}
 	if len(cases) != len(wantNames) {
 		t.Fatalf("table has %d cases, want %d", len(cases), len(wantNames))
@@ -101,6 +102,92 @@ func TestLatticeDupCaseGeometry(t *testing.T) {
 	}
 	if !geom.Within(a, geom.Point{1, 1}, 2.0) {
 		t.Fatal("diagonal √2 pair must be a neighbor at eps=2")
+	}
+}
+
+// TestCellBoundaryLatticeGeometry pins the construction the case's name
+// promises: spacing exactly ε/√2 (the cell side of a grid engine at ε=1,
+// d=2, before its safety shrink), axis steps inside ε, and diagonal step
+// pairs that land below, exactly at, and above ε² depending on lattice
+// position — the float wobble the case exists to exercise.
+func TestCellBoundaryLatticeGeometry(t *testing.T) {
+	pts := CellBoundaryLatticeCase()
+	if len(pts) != 14*14 {
+		t.Fatalf("lattice has %d points, want %d", len(pts), 14*14)
+	}
+	u := 1.0 / math.Sqrt2
+	for i, p := range pts {
+		if p[0] != float64(i/14)*u || p[1] != float64(i%14)*u {
+			t.Fatalf("point %d is off the ε/√2 lattice", i)
+		}
+	}
+	const eps = 1.0
+	if !geom.Within(pts[0], geom.Point{u, 0}, eps) {
+		t.Fatal("an axis step must be a neighbor")
+	}
+	if geom.Within(pts[0], geom.Point{u, u}, eps) {
+		t.Fatal("the origin diagonal rounds above ε and must be excluded")
+	}
+	below, exact, above := 0, 0, 0
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 13; j++ {
+			a := geom.Point{float64(i) * u, float64(j) * u}
+			b := geom.Point{float64(i+1) * u, float64(j+1) * u}
+			switch d2 := geom.DistSq(a, b); {
+			case d2 < eps*eps:
+				below++
+			case d2 == eps*eps:
+				exact++
+			default:
+				above++
+			}
+		}
+	}
+	if below == 0 || exact == 0 || above == 0 {
+		t.Fatalf("diagonal steps below/at/above ε: %d/%d/%d — the rounding wobble is gone", below, exact, above)
+	}
+}
+
+// TestHotCellSkewGeometry pins the three regimes of the hot-cell case at
+// the table's eps=1, minPts=5: the 64-point mini-grid fits strictly inside
+// one ε/√2 cell, the chain points have exactly the neighbor structure that
+// makes them core/border/noise, and the halo is pairwise isolated.
+func TestHotCellSkewGeometry(t *testing.T) {
+	pts := HotCellSkewCase()
+	if len(pts) != 64+3+36 {
+		t.Fatalf("case has %d points, want %d", len(pts), 64+3+36)
+	}
+	hot, chain, halo := pts[:64], pts[64:67], pts[67:]
+	side := 1.0 / math.Sqrt2
+	for _, p := range hot {
+		if p[0] < 0 || p[0] >= side || p[1] < 0 || p[1] >= side {
+			t.Fatalf("hot point %v escapes the first grid cell", p)
+		}
+	}
+	count := func(p geom.Point) int {
+		n := 0
+		for _, q := range pts {
+			if geom.Within(p, q, 1.0) {
+				n++
+			}
+		}
+		return n
+	}
+	// Chain: first point is core (hot mass in range), second has too few
+	// neighbors but borders the first, third sees only the second.
+	if c := count(chain[0]); c < 5 {
+		t.Fatalf("chain head has %d neighbors, want ≥ 5 (core)", c)
+	}
+	if c := count(chain[1]); c != 3 {
+		t.Fatalf("chain middle has %d neighbors, want exactly 3 (border)", c)
+	}
+	if c := count(chain[2]); c != 2 {
+		t.Fatalf("chain tail has %d neighbors, want exactly 2 (noise)", c)
+	}
+	for i, p := range halo {
+		if c := count(p); c != 1 {
+			t.Fatalf("halo point %d has %d neighbors, want only itself", i, c)
+		}
 	}
 }
 

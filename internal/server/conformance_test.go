@@ -173,10 +173,31 @@ func TestDaemonConformance(t *testing.T) {
 			}
 		})
 
+		t.Run(cc.Name+"/cell", func(t *testing.T) {
+			want, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts, mudbscan.WithEngine(mudbscan.EngineCell))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineCell, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, want, got, "cell")
+			// The cell engine is worker-invariant, so a different worker
+			// count must still serve identical bytes.
+			again, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineCell, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDeepEqual(t, got, again, "cell workers=3")
+		})
+
 		t.Run(cc.Name+"/auto", func(t *testing.T) {
-			// Every conformance dataset is below the auto threshold, so auto
-			// must resolve to seq and replay its exact bytes.
-			want, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts)
+			// Auto now defers to the library's profile-based selector, so the
+			// served bytes must match the direct EngineAuto call whatever
+			// concrete engine it picks. (Every conformance dataset is d ≤ 3,
+			// so in practice auto lands on the cell engine here.)
+			want, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts, mudbscan.WithEngine(mudbscan.EngineAuto))
 			if err != nil {
 				t.Fatal(err)
 			}

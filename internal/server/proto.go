@@ -124,12 +124,16 @@ func statusErr(code byte) error {
 	}
 }
 
-// Engine selects the execution mode of a clustering job — the four
-// mudbscan.Cluster* entry points plus auto-selection.
+// Engine selects the execution mode of a clustering job — the
+// mudbscan.Cluster* entry points, the grid cell engine, and auto-selection.
+// Wire values are append-only: existing engines are never renumbered.
 type Engine uint8
 
 const (
-	// EngineAuto picks EngineSeq or EngineShared from the dataset size.
+	// EngineAuto picks a concrete engine from the dataset: the grid cell
+	// engine when the library's profile-based selector
+	// (mudbscan.ChooseEngine) favors it, otherwise EngineSeq or
+	// EngineShared by dataset size.
 	EngineAuto Engine = iota
 	// EngineSeq is sequential μDBSCAN (mudbscan.Cluster).
 	EngineSeq
@@ -143,8 +147,13 @@ const (
 	// each point from the final snapshot; approximate at micro-cluster
 	// granularity but deterministic.
 	EngineStream
+	// EngineCell is the grid cell engine (mudbscan.Cluster with
+	// mudbscan.EngineCell); param is the worker count (0 = the engine's
+	// default, GOMAXPROCS). Exact and byte-identical to EngineSeq at any
+	// worker count.
+	EngineCell
 
-	numEngines = 5
+	numEngines = 6
 )
 
 // String names the engine as the CLI and metrics surface spell it.
@@ -160,6 +169,8 @@ func (e Engine) String() string {
 		return "dist"
 	case EngineStream:
 		return "stream"
+	case EngineCell:
+		return "cell"
 	default:
 		return fmt.Sprintf("engine(%d)", uint8(e))
 	}
@@ -178,8 +189,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineDist, nil
 	case "stream":
 		return EngineStream, nil
+	case "cell":
+		return EngineCell, nil
 	}
-	return 0, fmt.Errorf("%w: %q (want auto, seq, shared, dist or stream)", ErrUnknownEngine, s)
+	return 0, fmt.Errorf("%w: %q (want auto, seq, shared, dist, stream or cell)", ErrUnknownEngine, s)
 }
 
 // DatasetID identifies a stored dataset: the SHA-256 of its canonical wire

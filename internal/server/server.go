@@ -233,6 +233,10 @@ func (s *Server) runJob(j *job, scr *mudbscan.Scratch) (*result, error) {
 			mudbscan.WithWorkers(j.param), mudbscan.WithScratch(scr))
 	case EngineDist:
 		r, _, err = mudbscan.ClusterDistributed(j.ds.rows, j.eps, j.minPts, j.param)
+	case EngineCell:
+		r, err = mudbscan.Cluster(j.ds.rows, j.eps, j.minPts,
+			mudbscan.WithEngine(mudbscan.EngineCell),
+			mudbscan.WithWorkers(j.param), mudbscan.WithScratch(scr))
 	case EngineStream:
 		return s.runStream(j)
 	default:
@@ -438,13 +442,18 @@ func (c *serverConn) handlePut(tag int64, r *rbuf) {
 }
 
 // resolve turns the wire (engine, param) pair into a concrete engine and
-// parameter, applying defaults and the auto heuristic.
-func (s *Server) resolve(engine Engine, param int, n int) (Engine, int, error) {
+// parameter, applying defaults and the auto heuristic. Auto consults the
+// library's profile-based selector first — the grid cell engine wins
+// whenever mudbscan.ChooseEngine favors it — and only then falls back to
+// the size rule (small → seq, large → shared at GOMAXPROCS).
+func (s *Server) resolve(engine Engine, param int, ds *dataset, eps float64, minPts int) (Engine, int, error) {
 	if engine >= numEngines {
 		return 0, 0, fmt.Errorf("%w: engine byte %d", ErrUnknownEngine, engine)
 	}
 	if engine == EngineAuto {
-		if n < s.cfg.AutoThreshold {
+		if mudbscan.ChooseEngine(ds.rows, eps, minPts) == mudbscan.EngineCell {
+			engine, param = EngineCell, 0
+		} else if len(ds.rows) < s.cfg.AutoThreshold {
 			engine = EngineSeq
 		} else {
 			engine, param = EngineShared, runtime.GOMAXPROCS(0)
@@ -457,6 +466,13 @@ func (s *Server) resolve(engine Engine, param int, n int) (Engine, int, error) {
 		}
 		if param < 0 || param > maxSharedWork {
 			return 0, 0, fmt.Errorf("%w: shared workers %d out of range", ErrBadRequest, param)
+		}
+	case EngineCell:
+		// param 0 keeps the engine's own default (GOMAXPROCS); the result
+		// is byte-identical at every worker count, so the cache may fold
+		// counts together if it ever wants to.
+		if param < 0 || param > maxSharedWork {
+			return 0, 0, fmt.Errorf("%w: cell workers %d out of range", ErrBadRequest, param)
 		}
 	case EngineDist:
 		if param == 0 {
@@ -486,7 +502,7 @@ func (c *serverConn) handleCluster(tag int64, r *rbuf) {
 		c.sendErr(tag, fmt.Errorf("%w: %s", ErrUnknownDataset, id))
 		return
 	}
-	engine, param, err := c.s.resolve(engine, param, len(ds.rows))
+	engine, param, err := c.s.resolve(engine, param, ds, eps, minPts)
 	if err != nil {
 		c.sendErr(tag, err)
 		return

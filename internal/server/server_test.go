@@ -7,47 +7,76 @@ import (
 )
 
 // TestResolveEngineAndParam pins the wire→engine resolution table: auto's
-// size threshold, the deterministic shared default, dist's power-of-two
-// rank constraint, and the forced zero parameter for seq and stream.
+// profile-then-size cascade (cell for low-d data, otherwise seq below the
+// threshold, shared above), the deterministic shared default, dist's
+// power-of-two rank constraint, and the forced zero parameter for seq and
+// stream. Real datasets drive the auto rows because resolution now profiles
+// the data itself, not just its size.
 func TestResolveEngineAndParam(t *testing.T) {
-	srv := New(Config{Workers: 1})
+	srv := New(Config{Workers: 1, AutoThreshold: 8})
 	t.Cleanup(func() { srv.Close() })
-	small := srv.cfg.AutoThreshold - 1
-	big := srv.cfg.AutoThreshold
+
+	mk := func(dim, n int) *dataset {
+		t.Helper()
+		coords := make([]float64, 0, dim*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < dim; j++ {
+				coords = append(coords, float64(i)+0.1*float64(j))
+			}
+		}
+		id, err := srv.store.put(dim, coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, ok := srv.store.get(id)
+		if !ok {
+			t.Fatal("stored dataset missing")
+		}
+		return ds
+	}
+	lowDim := mk(2, 6)   // d ≤ 3: the selector always picks cell
+	highDim := mk(8, 6)  // d > 7, below threshold: falls through to seq
+	highBig := mk(8, 12) // d > 7, above threshold: shared at GOMAXPROCS
 
 	cases := []struct {
 		engine    Engine
-		param, n  int
+		param     int
+		ds        *dataset
 		wantE     Engine
 		wantParam int
 		wantErr   error
 	}{
-		{EngineAuto, 0, small, EngineSeq, 0, nil},
-		{EngineAuto, 0, big, EngineShared, runtime.GOMAXPROCS(0), nil},
-		{EngineSeq, 7, small, EngineSeq, 0, nil}, // seq ignores param
-		{EngineStream, 3, small, EngineStream, 0, nil},
-		{EngineShared, 0, small, EngineShared, 1, nil}, // deterministic default
-		{EngineShared, 4, small, EngineShared, 4, nil},
-		{EngineShared, -1, small, 0, 0, ErrBadRequest},
-		{EngineShared, maxSharedWork + 1, small, 0, 0, ErrBadRequest},
-		{EngineDist, 0, small, EngineDist, 4, nil},
-		{EngineDist, 8, small, EngineDist, 8, nil},
-		{EngineDist, 3, small, 0, 0, ErrBadRequest}, // not a power of two
-		{EngineDist, maxDistRanks * 2, small, 0, 0, ErrBadRequest},
-		{numEngines, 0, small, 0, 0, ErrUnknownEngine},
-		{Engine(200), 0, small, 0, 0, ErrUnknownEngine},
+		{EngineAuto, 0, lowDim, EngineCell, 0, nil},
+		{EngineAuto, 0, highDim, EngineSeq, 0, nil},
+		{EngineAuto, 0, highBig, EngineShared, runtime.GOMAXPROCS(0), nil},
+		{EngineSeq, 7, lowDim, EngineSeq, 0, nil}, // seq ignores param
+		{EngineStream, 3, lowDim, EngineStream, 0, nil},
+		{EngineShared, 0, lowDim, EngineShared, 1, nil}, // deterministic default
+		{EngineShared, 4, lowDim, EngineShared, 4, nil},
+		{EngineShared, -1, lowDim, 0, 0, ErrBadRequest},
+		{EngineShared, maxSharedWork + 1, lowDim, 0, 0, ErrBadRequest},
+		{EngineCell, 0, highDim, EngineCell, 0, nil}, // 0 = engine default
+		{EngineCell, 4, lowDim, EngineCell, 4, nil},
+		{EngineCell, -1, lowDim, 0, 0, ErrBadRequest},
+		{EngineCell, maxSharedWork + 1, lowDim, 0, 0, ErrBadRequest},
+		{EngineDist, 0, lowDim, EngineDist, 4, nil},
+		{EngineDist, 8, lowDim, EngineDist, 8, nil},
+		{EngineDist, 3, lowDim, 0, 0, ErrBadRequest}, // not a power of two
+		{EngineDist, maxDistRanks * 2, lowDim, 0, 0, ErrBadRequest},
+		{numEngines, 0, lowDim, 0, 0, ErrUnknownEngine},
+		{Engine(200), 0, lowDim, 0, 0, ErrUnknownEngine},
 	}
 	for _, c := range cases {
-		e, p, err := srv.resolve(c.engine, c.param, c.n)
+		e, p, err := srv.resolve(c.engine, c.param, c.ds, 0.5, 5)
 		if c.wantErr != nil {
 			if !errors.Is(err, c.wantErr) {
-				t.Fatalf("resolve(%v,%d,%d): err %v, want %v", c.engine, c.param, c.n, err, c.wantErr)
+				t.Fatalf("resolve(%v,%d,n=%d): err %v, want %v", c.engine, c.param, len(c.ds.rows), err, c.wantErr)
 			}
 			continue
 		}
 		if err != nil || e != c.wantE || p != c.wantParam {
-			t.Fatalf("resolve(%v,%d,%d) = (%v,%d,%v), want (%v,%d,nil)",
-				c.engine, c.param, c.n, e, p, err, c.wantE, c.wantParam)
+			t.Fatalf("resolve(%v,%d,n=%d) = (%v,%d,%v), want (%v,%d,nil)",
+				c.engine, c.param, len(c.ds.rows), e, p, err, c.wantE, c.wantParam)
 		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"math"
 	"runtime"
 
+	"mudbscan/internal/cell"
 	"mudbscan/internal/chaos"
 	"mudbscan/internal/clustering"
 	"mudbscan/internal/core"
@@ -60,6 +61,67 @@ type ParStats = shared.Stats
 // DistStats reports the work and communication of a distributed run.
 type DistStats = dist.Stats
 
+// Engine names one of the exact single-host engines behind Cluster and
+// ClusterWithStats. All engines produce byte-identical results — the same
+// Labels, Core flags and NumClusters on every input — they differ only in
+// how the ε-neighborhood work is organized, and therefore in speed.
+type Engine int
+
+const (
+	// EngineMuTree is the paper's μR-tree engine (the default): points are
+	// grouped into ε-sphere micro-clusters indexed by a two-level R-tree.
+	// Its cost grows gently with dimensionality, making it the safe choice
+	// for d ≳ 4.
+	EngineMuTree Engine = iota
+	// EngineCell is the grid engine (cells of side ε/√d over a sorted
+	// non-empty-cell table): any two points sharing a cell are ε-neighbors,
+	// so populated cells go core wholesale and the remaining queries scan a
+	// few adjacent cells. It is typically the fastest engine at d ≤ 3 but
+	// its neighbor-cell enumeration grows exponentially in d. Runs
+	// parallel over cells — WithWorkers caps it, default GOMAXPROCS.
+	EngineCell
+	// EngineAuto profiles the dataset with cheap statistics (dimensionality
+	// plus the cell-occupancy of a bounded sample) and picks between
+	// EngineMuTree and EngineCell; ChooseEngine exposes the decision.
+	EngineAuto
+)
+
+// String returns the engine's canonical short name, matching the names the
+// mudbscan CLI and the mudbscand wire protocol use.
+func (e Engine) String() string {
+	switch e {
+	case EngineMuTree:
+		return "mu"
+	case EngineCell:
+		return "cell"
+	case EngineAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// WithEngine selects the engine for Cluster and ClusterWithStats
+// (default EngineMuTree). ClusterParallel and ClusterDistributed are
+// themselves engines — their own parallel decompositions of the μR-tree
+// algorithm — and ignore this option.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// ChooseEngine reports the concrete engine EngineAuto would run on this
+// input: the decision is made from cheap statistics (n, d, and the
+// cell-occupancy distribution of a deterministic ≤1024-point sample) without
+// building any index, so it costs microseconds even on large inputs.
+// Degenerate inputs — empty data or a non-positive or non-finite eps — fall
+// back to EngineMuTree.
+func ChooseEngine(points [][]float64, eps float64, minPts int) Engine {
+	if len(points) == 0 || eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return EngineMuTree
+	}
+	if cell.Decide(cell.Sample(points, eps, minPts)) {
+		return EngineCell
+	}
+	return EngineMuTree
+}
+
 // config collects the option knobs.
 type config struct {
 	fanout      int
@@ -71,6 +133,7 @@ type config struct {
 	hardened    bool
 	faultSeed   *int64
 	scratch     *Scratch
+	engine      Engine
 }
 
 // Scratch is reusable query-scratch storage lent to clustering runs: the
@@ -179,14 +242,19 @@ func validate(points [][]float64, eps float64, minPts int) ([]geom.Point, error)
 	return pts, nil
 }
 
-// Cluster runs sequential μDBSCAN and returns the exact DBSCAN clustering
-// of points under the given ε and MinPts.
+// Cluster returns the exact DBSCAN clustering of points under the given ε
+// and MinPts, computed by the engine WithEngine selects (default the
+// sequential μR-tree engine; see Engine).
 func Cluster(points [][]float64, eps float64, minPts int, opts ...Option) (*Result, error) {
 	r, _, err := ClusterWithStats(points, eps, minPts, opts...)
 	return r, err
 }
 
-// ClusterWithStats is Cluster plus the run's work statistics.
+// ClusterWithStats is Cluster plus the run's work statistics. Under
+// EngineCell the micro-cluster fields describe grid cells instead (NumMCs is
+// the non-empty-cell count, QueriesSaved the points proven core by the
+// dense-cell shortcut) and the step split folds the grid's five phases into
+// the paper's four.
 func ClusterWithStats(points [][]float64, eps float64, minPts int, opts ...Option) (*Result, *SeqStats, error) {
 	var cfg config
 	for _, o := range opts {
@@ -195,6 +263,25 @@ func ClusterWithStats(points [][]float64, eps float64, minPts int, opts ...Optio
 	pts, err := validate(points, eps, minPts)
 	if err != nil {
 		return nil, nil, err
+	}
+	engine := cfg.engine
+	if engine == EngineAuto {
+		engine = EngineMuTree
+		if len(pts) > 0 && cell.Decide(cell.Sample(pts, eps, minPts)) {
+			engine = EngineCell
+		}
+	}
+	if engine == EngineCell {
+		copts := cell.Options{Workers: cfg.workers}
+		if cfg.scratch != nil {
+			w := cfg.workers
+			if w <= 0 {
+				w = runtime.GOMAXPROCS(0) // cell.Run's own default
+			}
+			copts.Arenas = cfg.scratch.grown(w)
+		}
+		r, st := cell.Run(pts, eps, minPts, copts)
+		return r, cellSeqStats(st), nil
 	}
 	copts := core.Options{
 		Fanout:      cfg.fanout,
@@ -205,6 +292,27 @@ func ClusterWithStats(points [][]float64, eps float64, minPts int, opts ...Optio
 	}
 	r, st := core.Run(pts, eps, minPts, copts)
 	return r, st, nil
+}
+
+// cellSeqStats adapts the cell engine's statistics to the SeqStats shape so
+// ClusterWithStats reports one stats type whichever engine ran: non-empty
+// cells stand in for micro-clusters, dense-cell core proofs for wndq-saved
+// queries, and the grid's Build/Adjacency/Mark+Connect/Assign phases for the
+// paper's four steps.
+func cellSeqStats(st *cell.Stats) *SeqStats {
+	return &SeqStats{
+		NumMCs:       st.Cells,
+		Queries:      st.Queries,
+		QueriesSaved: st.QueriesSaved,
+		DistCalcs:    st.DistCalcs,
+		WndqFromMCs:  st.QueriesSaved,
+		Steps: core.StepTimes{
+			TreeConstruction: st.Steps.Build,
+			FindingReachable: st.Steps.Adjacency,
+			Clustering:       st.Steps.Mark + st.Steps.Connect,
+			PostProcessing:   st.Steps.Assign,
+		},
+	}
 }
 
 // ClusterParallel runs the multi-core shared-memory μDBSCAN. The result is

@@ -2,6 +2,7 @@ package mudbscan
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"mudbscan/internal/clustering"
@@ -136,6 +137,65 @@ func TestOptionsApply(t *testing.T) {
 	}
 	if _, _, err := ClusterWithStats(rows, 0.5, 5, WithRTreeFanout(4)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineSelection pins the public engine surface: the cell engine behind
+// WithEngine is byte-identical to brute force on every conformance dataset,
+// EngineAuto resolves to exactly the engine ChooseEngine reports, and the
+// selector's dimensionality branches hold.
+func TestEngineSelection(t *testing.T) {
+	for _, cc := range data.ConformanceCases() {
+		rows := toRows(cc.Pts)
+		want, _ := dbscan.Brute(cc.Pts, cc.Eps, cc.MinPts)
+		got, st, err := ClusterWithStats(rows, cc.Eps, cc.MinPts, WithEngine(EngineCell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: cell engine differs from brute force", cc.Name)
+		}
+		if st.NumMCs == 0 || st.Queries+st.QueriesSaved != len(cc.Pts) {
+			t.Errorf("%s: cell stats not adapted: %+v", cc.Name, st)
+		}
+		// Auto must behave exactly as the engine ChooseEngine names.
+		pick := ChooseEngine(rows, cc.Eps, cc.MinPts)
+		auto, _, err := ClusterWithStats(rows, cc.Eps, cc.MinPts, WithEngine(EngineAuto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, _, err := ClusterWithStats(rows, cc.Eps, cc.MinPts, WithEngine(pick))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(direct, auto) {
+			t.Errorf("%s: EngineAuto result differs from ChooseEngine's pick %v", cc.Name, pick)
+		}
+	}
+}
+
+// TestChooseEngineBranches pins the selector on representative inputs: the
+// grid always wins at low d, never at high d, and degenerate inputs fall
+// back to the μR-tree.
+func TestChooseEngineBranches(t *testing.T) {
+	low := toRows(data.Blobs(500, 2, 3, 0.3, 0.1, 11))
+	if e := ChooseEngine(low, 0.5, 5); e != EngineCell {
+		t.Fatalf("2-D blobs chose %v, want cell", e)
+	}
+	high := toRows(data.Blobs(500, 8, 3, 0.3, 0.1, 12))
+	if e := ChooseEngine(high, 0.5, 5); e != EngineMuTree {
+		t.Fatalf("8-D blobs chose %v, want mu", e)
+	}
+	if e := ChooseEngine(nil, 0.5, 5); e != EngineMuTree {
+		t.Fatalf("empty input chose %v, want mu", e)
+	}
+	if e := ChooseEngine(low, 0, 5); e != EngineMuTree {
+		t.Fatalf("eps=0 chose %v, want mu", e)
+	}
+	for e, want := range map[Engine]string{EngineMuTree: "mu", EngineCell: "cell", EngineAuto: "auto"} {
+		if e.String() != want {
+			t.Fatalf("Engine(%d).String() = %q, want %q", int(e), e.String(), want)
+		}
 	}
 }
 
