@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	mudbscan -eps 0.5 -minpts 5 [-mode seq|cell|auto|parallel|dist] [-ranks 8]
-//	         [-dist-serial] [-hardened] [-chaos-seed 3] [-workers 4]
+//	mudbscan -eps 0.5 -minpts 5 [-mode seq|cell|auto|parallel|dist|stream]
+//	         [-ranks 8] [-dist-serial] [-hardened] [-chaos-seed 3] [-workers 4]
+//	         [-lambda 0.01] [-prune-below 0.1]
 //	         [-net tcp|unix|launch] [-rank N] [-peers a,b,...]
 //	         [-in points.csv] [-out labels.txt] [-stats]
 //
@@ -17,6 +18,12 @@
 // engine (exact and byte-identical to seq, typically faster at low
 // dimensionality; -workers bounds its parallelism), and -mode auto profiles
 // the dataset and picks between them (-stats reports which engine ran).
+//
+// -mode stream feeds the rows through the streaming tier in order and labels
+// them from the final exact snapshot — identical to seq by default (landmark
+// window). With -lambda > 0 the window is damped: rows that expired before
+// the end of the stream come out as noise. -workers sets the ingest shard
+// count, which never changes the labels.
 //
 // With -net, -mode dist leaves the single-process simulation: each rank is a
 // separate OS process and the ranks exchange messages over real sockets.
@@ -89,7 +96,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	var (
 		eps     = fs.Float64("eps", 0, "DBSCAN ε radius (required, > 0)")
 		minPts  = fs.Int("minpts", 5, "DBSCAN MinPts density threshold")
-		mode    = fs.String("mode", "seq", "execution mode: seq, cell, auto, parallel or dist")
+		mode    = fs.String("mode", "seq", "execution mode: seq, cell, auto, parallel, dist or stream")
+		lambda  = fs.Float64("lambda", 0, "decay rate for -mode stream (0 = landmark window, nothing expires)")
+		prune   = fs.Float64("prune-below", 0, "expiry weight threshold for -mode stream -lambda (0 = default 0.1)")
 		ranks   = fs.Int("ranks", 8, "simulated ranks for -mode dist (power of two)")
 		distSer = fs.Bool("dist-serial", false, "run -mode dist ranks one at a time (isolation timing) instead of concurrently")
 		harden  = fs.Bool("hardened", false, "wrap -mode dist messages in checksummed ack/retransmit envelopes")
@@ -215,8 +224,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 					st.Comm.CorruptDropped, st.Comm.DupDropped)
 			}
 		}
+	case "stream":
+		result, err = mudbscan.ClusterStream(rows, *eps, *minPts,
+			mudbscan.WithStreamWindow(*lambda, *prune), mudbscan.WithWorkers(*workers))
+		if err == nil && *stats {
+			window := "landmark"
+			if *lambda > 0 {
+				window = fmt.Sprintf("damped(lambda=%g)", *lambda)
+			}
+			fmt.Fprintf(stderr, "n=%d window=%s time=%v\n", len(pts), window, time.Since(start))
+		}
 	default:
-		return usagef("unknown -mode %q (want seq, cell, auto, parallel or dist)", *mode)
+		return usagef("unknown -mode %q (want seq, cell, auto, parallel, dist or stream)", *mode)
 	}
 	if err != nil {
 		return err

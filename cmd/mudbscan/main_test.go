@@ -71,7 +71,7 @@ func TestClusterFromStdinToStdout(t *testing.T) {
 }
 
 func TestModes(t *testing.T) {
-	for _, mode := range []string{"cell", "auto", "parallel", "dist"} {
+	for _, mode := range []string{"cell", "auto", "parallel", "dist", "stream"} {
 		var stdout, stderr bytes.Buffer
 		err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", mode, "-ranks", "2", "-stats"},
 			strings.NewReader(squareCSV), &stdout, &stderr)
@@ -110,6 +110,44 @@ func TestCellModeMatchesSeq(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "engine=cell") {
 		t.Fatalf("auto -stats must report the picked engine: %q", stderr.String())
+	}
+}
+
+// TestStreamModeMatchesSeq: the streaming tier is exact, so -mode stream
+// must emit the default engine's labels verbatim at any shard count; with a
+// damped -lambda the early square expires into noise.
+func TestStreamModeMatchesSeq(t *testing.T) {
+	var seqOut, streamOut, stderr bytes.Buffer
+	if err := run([]string{"-eps", "0.5", "-minpts", "3"},
+		strings.NewReader(squareCSV), &seqOut, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", "stream", "-workers", "4", "-stats"},
+		strings.NewReader(squareCSV), &streamOut, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if seqOut.String() != streamOut.String() {
+		t.Fatalf("stream labels differ from seq:\n%q\n%q", seqOut.String(), streamOut.String())
+	}
+	if !strings.Contains(stderr.String(), "window=landmark") {
+		t.Fatalf("stream -stats must report the window: %q", stderr.String())
+	}
+
+	// Damped: a horizon of ln(10)/0.5 ≈ 4.6 insertions forgets the first
+	// square (rows 0-3) by the time the stream ends.
+	var dampedOut bytes.Buffer
+	if err := run([]string{"-eps", "0.5", "-minpts", "3", "-mode", "stream", "-lambda", "0.5"},
+		strings.NewReader(squareCSV), &dampedOut, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	labels := strings.Fields(dampedOut.String())
+	if len(labels) != 9 {
+		t.Fatalf("damped stdout: %q", dampedOut.String())
+	}
+	for i := 0; i < 4; i++ {
+		if labels[i] != "-1" {
+			t.Fatalf("expired row %d labeled %s, want -1", i, labels[i])
+		}
 	}
 }
 

@@ -73,8 +73,9 @@ func run(w io.Writer, phase1, phase2 int) error {
 
 	ds := damped.Snapshot()
 	ls := landmark.Snapshot()
-	fmt.Fprintf(w, "phase 2: damped window sees %d groups (pruned %d stale micro-clusters)\n",
-		ds.NumClusters, damped.Pruned)
+	st := damped.Stats()
+	fmt.Fprintf(w, "phase 2: damped window sees %d groups (evicted %d stale points, %d empty micro-clusters)\n",
+		ds.NumClusters, st.EvictedPoints, st.EvictedCells)
 	fmt.Fprintf(w, "phase 2: landmark window still sees %d groups\n", ls.NumClusters)
 
 	probes := []struct {

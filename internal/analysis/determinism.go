@@ -23,7 +23,8 @@ import (
 //	determinism/rand — the global math/rand source in an algorithm package.
 //
 // Algorithm packages are the ones whose output feeds the clustering:
-// geom, mc, core, cell, shared, dist, unionfind, rtree, kdtree, partition.
+// geom, mc, core, cell, shared, dist, stream, unionfind, rtree, kdtree,
+// partition.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "flags map-iteration-order leaks, wall-clock reads and global RNG use",
@@ -34,8 +35,8 @@ var DeterminismAnalyzer = &Analyzer{
 // live outside the module) exercise the same predicate as the real tree.
 var algorithmPkgs = map[string]bool{
 	"geom": true, "mc": true, "core": true, "cell": true, "shared": true,
-	"dist": true, "unionfind": true, "rtree": true, "kdtree": true,
-	"partition": true,
+	"dist": true, "stream": true, "unionfind": true, "rtree": true,
+	"kdtree": true, "partition": true,
 }
 
 func runDeterminism(pass *Pass) {

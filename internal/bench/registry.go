@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"chaos", "hardened-transport overhead and fault absorption (DESIGN.md §11)", Chaos},
 		{"daemon", "clustering-as-a-service cold/cached jobs and ε-query serving (DESIGN.md §14)", Daemon},
 		{"engines", "cross-engine head-to-head: brute vs μR-tree vs grid cell, with the auto-selector's pick (DESIGN.md §15)", Engines},
+		{"scenarios", "every engine on every scenario-corpus workload, with inline exactness checks (DESIGN.md §16)", Scenarios},
 	}
 }
 

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mudbscan/internal/cell"
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/data"
+	"mudbscan/internal/dbscan"
+	"mudbscan/internal/dist"
+	"mudbscan/internal/shared"
+	"mudbscan/internal/stream"
+)
+
+// scenarioDistRanks is the rank count the distributed engine runs the
+// scenario corpus at; the datasets are small, so a modest power of two keeps
+// per-rank work meaningful.
+const scenarioDistRanks = 4
+
+// Scenarios measures every engine on every scenario of the pinned corpus
+// (data.Scenarios, EXPERIMENTS.md §Scenarios): brute force, sequential
+// μR-tree, shared-memory μR-tree, the grid cell engine, μDBSCAN-D, and the
+// streaming tier (full ingest in arrival order plus one exact snapshot, at 1
+// shard and at 8 shards). The corpus couples spatial distributions to
+// adversarial arrival orders, so the stream columns price the ingest path
+// the batch engines never see. Every row verifies the exact-result contract
+// inline — cell must DeepEqual brute, μR-tree/shared/dist must be exactly
+// equivalent with identical cores, and the stream snapshot must DeepEqual
+// the sequential μR-tree result at every shard count — so the table can
+// never report the speedup of a wrong answer. The corpus is pinned at its
+// conformance sizes; cfg.Scale is ignored.
+func Scenarios(cfg Config) error {
+	cfg = cfg.withDefaults()
+	workers := runtime.GOMAXPROCS(0)
+
+	fmt.Fprintln(cfg.Out, "-- scenario corpus: every engine on every arrival-ordered workload --")
+	t := newTable(cfg.Out)
+	t.row("scenario", "d", "n", "clusters", "brute", "mu-seq",
+		fmt.Sprintf("shared-%d", workers), fmt.Sprintf("cell-%d", workers),
+		fmt.Sprintf("dist-%d", scenarioDistRanks), "stream-1", "stream-8")
+	for _, sc := range data.Scenarios() {
+		var (
+			bruteRes, muRes, sharedRes, cellRes, distRes *clustering.Result
+			stream1Res, stream8Res                       *clustering.Result
+			bruteT, muT, sharedT, cellT, distT           time.Duration
+			stream1T, stream8T                           time.Duration
+		)
+		bruteT = timed(func() { bruteRes, _ = dbscan.Brute(sc.Pts, sc.Eps, sc.MinPts) })
+		muT = timed(func() { muRes, _ = core.Run(sc.Pts, sc.Eps, sc.MinPts, core.Options{}) })
+		sharedT = timed(func() {
+			sharedRes, _ = shared.Run(sc.Pts, sc.Eps, sc.MinPts, shared.Options{Workers: workers})
+		})
+		cellT = timed(func() {
+			cellRes, _ = cell.Run(sc.Pts, sc.Eps, sc.MinPts, cell.Options{Workers: workers})
+		})
+		var distErr error
+		distT = timed(func() {
+			distRes, _, distErr = dist.MuDBSCAND(sc.Pts, sc.Eps, sc.MinPts, scenarioDistRanks, dist.Options{Seed: 1, Exec: dist.ExecSerial})
+		})
+		if distErr != nil {
+			return fmt.Errorf("scenarios: %s: dist: %v", sc.Name, distErr)
+		}
+		runStream := func(shards int) (*clustering.Result, time.Duration, error) {
+			var res *clustering.Result
+			var err error
+			d := timed(func() {
+				var c *stream.Clusterer
+				c, err = stream.New(len(sc.Pts[0]), sc.Eps, sc.MinPts, stream.Options{Shards: shards})
+				if err != nil {
+					return
+				}
+				for _, p := range sc.Pts {
+					if err = c.Add(p); err != nil {
+						return
+					}
+				}
+				res = c.Snapshot().Result()
+			})
+			return res, d, err
+		}
+		var err error
+		if stream1Res, stream1T, err = runStream(1); err != nil {
+			return fmt.Errorf("scenarios: %s: stream-1: %v", sc.Name, err)
+		}
+		if stream8Res, stream8T, err = runStream(8); err != nil {
+			return fmt.Errorf("scenarios: %s: stream-8: %v", sc.Name, err)
+		}
+
+		// Inline exactness: the cell engine is byte-identical to brute force;
+		// the μR-tree family guarantees exact equivalence with identical
+		// cores; a landmark stream snapshot after in-order ingest is the
+		// sequential μR-tree run and must match it byte for byte at every
+		// shard count.
+		if !reflect.DeepEqual(bruteRes, cellRes) {
+			return fmt.Errorf("scenarios: %s: cell result differs from brute force", sc.Name)
+		}
+		for name, r := range map[string]*clustering.Result{
+			"mu": muRes, "shared": sharedRes, "dist": distRes,
+		} {
+			if err := clustering.Equivalent(bruteRes, r); err != nil {
+				return fmt.Errorf("scenarios: %s: %s not equivalent to brute: %v", sc.Name, name, err)
+			}
+		}
+		if !reflect.DeepEqual(muRes, stream1Res) {
+			return fmt.Errorf("scenarios: %s: stream snapshot differs from μR-tree result", sc.Name)
+		}
+		if !reflect.DeepEqual(stream1Res, stream8Res) {
+			return fmt.Errorf("scenarios: %s: stream snapshot not shard-invariant", sc.Name)
+		}
+
+		t.row(
+			sc.Name,
+			fmt.Sprintf("%d", len(sc.Pts[0])),
+			fmt.Sprintf("%d", len(sc.Pts)),
+			fmt.Sprintf("%d", bruteRes.NumClusters),
+			seconds(bruteT),
+			seconds(muT),
+			seconds(sharedT),
+			seconds(cellT),
+			seconds(distT),
+			seconds(stream1T),
+			seconds(stream8T),
+		)
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,104 @@
+package data
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mudbscan/internal/dbscan"
+)
+
+// TestScenariosDeterministic pins that the corpus is a pure function of its
+// seeds: two calls rebuild byte-identical datasets.
+func TestScenariosDeterministic(t *testing.T) {
+	a, b := Scenarios(), Scenarios()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Scenarios() differs across calls")
+	}
+	seen := map[string]bool{}
+	for _, s := range a {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Pts) == 0 || s.Eps <= 0 || s.MinPts < 1 || s.Arrival == "" {
+			t.Fatalf("%s: malformed scenario", s.Name)
+		}
+		dim := len(s.Pts[0])
+		for i, p := range s.Pts {
+			if len(p) != dim {
+				t.Fatalf("%s: point %d has dim %d, want %d", s.Name, i, len(p), dim)
+			}
+		}
+	}
+}
+
+// TestScenarioStructure pins the ground-truth clustering shape of each
+// scenario (datasets are deterministic, so exact counts are stable): the
+// drifting trace resolves to its dwell stops over travel noise, the
+// embedding corpus recovers its six concepts, the tie rails yield two
+// clusters per rail with every middle point a border, and the bursty blobs
+// stay four clusters under the noise flood.
+func TestScenarioStructure(t *testing.T) {
+	want := map[string]struct{ clusters, noise int }{
+		"geo-drift":       {26, 952},
+		"highdim-embed":   {6, 35},
+		"all-border-ties": {48, 0},
+		"bursty-arrival":  {4, 196},
+	}
+	for _, s := range Scenarios() {
+		t.Run(s.Name, func(t *testing.T) {
+			w, ok := want[s.Name]
+			if !ok {
+				t.Fatalf("scenario %q missing from the pinned table", s.Name)
+			}
+			r, _ := dbscan.Brute(s.Pts, s.Eps, s.MinPts)
+			if r.NumClusters != w.clusters || r.NumNoise() != w.noise {
+				t.Fatalf("clusters=%d noise=%d, want %d/%d",
+					r.NumClusters, r.NumNoise(), w.clusters, w.noise)
+			}
+		})
+	}
+}
+
+// TestAllBorderTieRailsExact pins the adversarial construction: every
+// coordinate is a multiple of 0.25 (distances exact in binary floating
+// point) and, at eps=1.25 minPts=4, each rail's middle point is a border —
+// non-core yet clustered — tied at exactly 1.0 from the nearest core of both
+// flanking clusters.
+func TestAllBorderTieRailsExact(t *testing.T) {
+	const rails = 24
+	pts := AllBorderTieRails(rails)
+	if len(pts) != rails*11 {
+		t.Fatalf("n=%d want %d", len(pts), rails*11)
+	}
+	for i, p := range pts {
+		for _, v := range p {
+			if math.Floor(v*4) != v*4 {
+				t.Fatalf("point %d coordinate %g is not a multiple of 0.25", i, v)
+			}
+		}
+	}
+	r, _ := dbscan.Brute(pts, 1.25, 4)
+	if r.NumClusters != 2*rails {
+		t.Fatalf("clusters=%d want %d", r.NumClusters, 2*rails)
+	}
+	// The middle points arrive last (column-interleaved layout: the x=2.0
+	// column is emitted after all cluster columns).
+	ties := 0
+	for i, p := range pts {
+		if p[0] != 2.0 {
+			continue
+		}
+		ties++
+		if r.Core[i] {
+			t.Fatalf("tie point %d is core", i)
+		}
+		if r.Labels[i] < 0 {
+			t.Fatalf("tie point %d is noise, want border", i)
+		}
+	}
+	if ties != rails {
+		t.Fatalf("found %d tie points, want %d", ties, rails)
+	}
+}

@@ -320,6 +320,105 @@ func (c *Client) EpsQuery(id DatasetID, eps float64, minPts int, pt []float64) (
 	return ids, nil
 }
 
+// StreamHandle is one open stream session on a client connection: points
+// feed in incrementally through Add and exact snapshots of the live window
+// come back from Snapshot. Sessions are connection-scoped — closing the
+// Client abandons them.
+type StreamHandle struct {
+	sid uint32
+	dim int
+	c   *Client
+}
+
+// StreamOpen creates a stream session. lambda 0 selects the landmark window
+// (pass pruneBelow 0 with it); lambda > 0 a damped window whose points
+// expire once their exp(-lambda·age) weight falls below pruneBelow (0 keeps
+// the server default). shards sets ingest sharding (0 = server default) and
+// never changes the clustering.
+func (c *Client) StreamOpen(dim int, eps float64, minPts int, lambda, pruneBelow float64, shards int) (*StreamHandle, error) {
+	body := make([]byte, 0, 4+4+4+8+8+8)
+	body = appendU32(body, uint32(dim))
+	body = appendU32(body, uint32(minPts))
+	body = appendU32(body, uint32(shards))
+	body = appendF64(body, eps)
+	body = appendF64(body, lambda)
+	body = appendF64(body, pruneBelow)
+	_, resp, err := c.roundTrip(opStreamOpen, body)
+	if err != nil {
+		return nil, err
+	}
+	r := rbuf{b: resp}
+	sid := r.u32()
+	if !r.done() {
+		return nil, fmt.Errorf("server: malformed stream-open response")
+	}
+	return &StreamHandle{sid: sid, dim: dim, c: c}, nil
+}
+
+// Add feeds rows into the session in order. On error, rows before the one
+// the server names in the message are already absorbed.
+func (h *StreamHandle) Add(rows [][]float64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	body := make([]byte, 0, 4+4+8*len(rows)*h.dim)
+	body = appendU32(body, h.sid)
+	body = appendU32(body, uint32(len(rows)))
+	for i, row := range rows {
+		if len(row) != h.dim {
+			return fmt.Errorf("%w: row %d has dim %d, want %d", ErrBadRequest, i, len(row), h.dim)
+		}
+		for _, v := range row {
+			body = appendF64(body, v)
+		}
+	}
+	_, _, err := h.c.roundTrip(opStreamAdd, body)
+	return err
+}
+
+// Snapshot returns an exact clustering of the session's live window plus
+// each window row's arrival sequence number (the i-th accepted point has
+// sequence i), so labels map back onto what was ingested.
+func (h *StreamHandle) Snapshot() (*clustering.Result, []int64, error) {
+	body := appendU32(nil, h.sid)
+	_, resp, err := h.c.roundTrip(opStreamSnap, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := rbuf{b: resp}
+	numClusters := int(r.u32())
+	n := int(r.u32())
+	if r.err || n < 0 || len(r.b) != 17*n {
+		return nil, nil, fmt.Errorf("server: malformed stream-snapshot response")
+	}
+	out := &clustering.Result{NumClusters: numClusters}
+	seqs := make([]int64, n)
+	if n > 0 {
+		out.Labels = make([]int, n)
+		out.Core = make([]bool, n)
+	}
+	for i := range out.Labels {
+		out.Labels[i] = int(r.i64())
+	}
+	for i := range out.Core {
+		out.Core[i] = r.u8() != 0
+	}
+	for i := range seqs {
+		seqs[i] = r.i64()
+	}
+	if !r.done() {
+		return nil, nil, fmt.Errorf("server: malformed stream-snapshot response")
+	}
+	return out, seqs, nil
+}
+
+// Close releases the session on the server.
+func (h *StreamHandle) Close() error {
+	body := appendU32(nil, h.sid)
+	_, _, err := h.c.roundTrip(opStreamClose, body)
+	return err
+}
+
 // Stats fetches the daemon's counter snapshot as name→value pairs.
 func (c *Client) Stats() (map[string]int64, error) {
 	_, resp, err := c.roundTrip(opStats, nil)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"math"
 	"net"
 	"reflect"
 	"testing"
@@ -46,24 +47,15 @@ func toRows(pts []geom.Point) [][]float64 {
 }
 
 // streamDirect replicates the daemon's stream engine with direct library
-// calls: insert in row order, snapshot, assign every point.
-func streamDirect(t *testing.T, rows [][]float64, eps float64, minPts int) []int {
+// calls: ingest in row order through the streaming tier, then map the final
+// exact snapshot back onto the rows.
+func streamDirect(t *testing.T, rows [][]float64, eps float64, minPts int) *clustering.Result {
 	t.Helper()
-	c, err := stream.New(len(rows[0]), eps, minPts, stream.Options{})
+	r, err := mudbscan.ClusterStream(rows, eps, minPts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, row := range rows {
-		if err := c.Add(row); err != nil {
-			t.Fatal(err)
-		}
-	}
-	snap := c.Snapshot()
-	labels := make([]int, len(rows))
-	for i, row := range rows {
-		labels[i] = snap.Assign(row)
-	}
-	return labels
+	return r
 }
 
 func mustDeepEqual(t *testing.T, want, got *clustering.Result, what string) {
@@ -160,17 +152,25 @@ func TestDaemonConformance(t *testing.T) {
 		})
 
 		t.Run(cc.Name+"/stream", func(t *testing.T) {
+			// The streaming tier is exact: its landmark in-order result is the
+			// sequential engine's, byte for byte, and shard count (the wire
+			// param) never changes it.
 			want := streamDirect(t, rows, cc.Eps, cc.MinPts)
 			got, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineStream, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(want, got.Labels) {
-				t.Fatal("stream labels differ from direct pipeline")
+			mustDeepEqual(t, want, got, "stream")
+			seq, err := mudbscan.Cluster(rows, cc.Eps, cc.MinPts)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if got.Core != nil {
-				t.Fatal("stream results carry no core flags")
+			mustDeepEqual(t, seq, got, "stream vs seq engine")
+			again, err := cl.Cluster(id, cc.Eps, cc.MinPts, EngineStream, 3)
+			if err != nil {
+				t.Fatal(err)
 			}
+			mustDeepEqual(t, got, again, "stream shards=3")
 		})
 
 		t.Run(cc.Name+"/cell", func(t *testing.T) {
@@ -207,6 +207,125 @@ func TestDaemonConformance(t *testing.T) {
 			}
 			mustDeepEqual(t, want, got, "auto")
 		})
+	}
+}
+
+// TestDaemonStreamSession drives the incremental stream-session ops against
+// the direct library pipeline: every mid-stream snapshot served over the
+// wire must be byte-identical to a direct stream.Clusterer fed the same
+// prefix, in landmark and damped modes alike.
+func TestDaemonStreamSession(t *testing.T) {
+	_, addr := startServer(t, Config{Workers: 1})
+	cl := dialTenant(t, addr, "stream-session")
+
+	for _, tc := range []struct {
+		name          string
+		lambda, prune float64
+	}{
+		{"landmark", 0, 0},
+		{"damped", 0.05, 0.25},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cc := data.ConformanceCases()[0]
+			rows := toRows(cc.Pts)
+			h, err := cl.StreamOpen(len(rows[0]), cc.Eps, cc.MinPts, tc.lambda, tc.prune, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := stream.New(len(rows[0]), cc.Eps, cc.MinPts,
+				stream.Options{Lambda: tc.lambda, PruneBelow: tc.prune, Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for chunk := 0; chunk < len(rows); chunk += 40 {
+				end := min(chunk+40, len(rows))
+				if err := h.Add(rows[chunk:end]); err != nil {
+					t.Fatal(err)
+				}
+				for _, row := range rows[chunk:end] {
+					if err := direct.Add(row); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, seqs, err := h.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap := direct.Snapshot()
+				want := snap.Result()
+				if !reflect.DeepEqual(want.Labels, got.Labels) ||
+					!reflect.DeepEqual(want.Core, got.Core) ||
+					want.NumClusters != got.NumClusters {
+					t.Fatalf("served snapshot after %d rows differs from direct stream", end)
+				}
+				if !reflect.DeepEqual(snap.Seqs, seqs) {
+					t.Fatalf("served seqs after %d rows differ from direct stream", end)
+				}
+			}
+			if err := h.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := h.Snapshot(); !errors.Is(err, ErrUnknownStream) {
+				t.Fatalf("snapshot after close: got %v, want ErrUnknownStream", err)
+			}
+		})
+	}
+}
+
+// TestDaemonStreamSessionLimits walks the stream-session refusal surface:
+// malformed opens, the per-connection session cap, and row validation
+// through the wire.
+func TestDaemonStreamSessionLimits(t *testing.T) {
+	_, addr := startServer(t, Config{Workers: 1})
+	cl := dialTenant(t, addr, "stream-limits")
+
+	if _, err := cl.StreamOpen(0, 0.5, 3, 0, 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("dim 0: got %v, want ErrBadRequest", err)
+	}
+	if _, err := cl.StreamOpen(2, -1, 3, 0, 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad eps: got %v, want ErrBadRequest", err)
+	}
+	if _, err := cl.StreamOpen(2, 0.5, 3, 0.1, 1.5, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("pruneBelow out of (0,1): got %v, want ErrBadRequest", err)
+	}
+
+	handles := make([]*StreamHandle, 0, maxConnStreams)
+	for i := 0; i < maxConnStreams; i++ {
+		h, err := cl.StreamOpen(2, 0.5, 3, 0, 0, 0)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	if _, err := cl.StreamOpen(2, 0.5, 3, 0, 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("over session cap: got %v, want ErrBadRequest", err)
+	}
+	// Closing one frees a slot.
+	if err := handles[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.StreamOpen(2, 0.5, 3, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+
+	// A NaN row is rejected by the engine; the rows before it are absorbed.
+	err = h.Add([][]float64{{0, 0}, {0.1, 0.1}, {math.NaN(), 0}})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("NaN row: got %v, want ErrBadRequest", err)
+	}
+	got, seqs, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labels) != 2 || len(seqs) != 2 {
+		t.Fatalf("window holds %d rows, want the 2 absorbed before the bad row", len(got.Labels))
+	}
+	// Sessions are per connection: another tenant cannot see this sid.
+	other := dialTenant(t, addr, "other")
+	oh := &StreamHandle{sid: h.sid, dim: 2, c: other}
+	if _, _, err := oh.Snapshot(); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("cross-connection sid: got %v, want ErrUnknownStream", err)
 	}
 }
 

@@ -30,6 +30,10 @@ type metrics struct {
 	puts       int64
 	badFrames  int64
 
+	streamSessions  int64 // stream sessions opened over the daemon's lifetime
+	streamPoints    int64 // points absorbed through opStreamAdd
+	streamSnapshots int64 // snapshots served through opStreamSnap
+
 	jobTotal time.Duration
 	jobMax   time.Duration
 }
@@ -91,6 +95,10 @@ func (m *metrics) ping()     { m.mu.Lock(); m.pings++; m.mu.Unlock() }
 func (m *metrics) put()      { m.mu.Lock(); m.puts++; m.mu.Unlock() }
 func (m *metrics) badFrame() { m.mu.Lock(); m.badFrames++; m.mu.Unlock() }
 
+func (m *metrics) streamOpened()       { m.mu.Lock(); m.streamSessions++; m.mu.Unlock() }
+func (m *metrics) streamAdded(n int64) { m.mu.Lock(); m.streamPoints += n; m.mu.Unlock() }
+func (m *metrics) streamSnapped()      { m.mu.Lock(); m.streamSnapshots++; m.mu.Unlock() }
+
 // Stats is one consistent snapshot of the daemon's observable state: the
 // opStats response body and the `mudbscand stats` / benchtab surface.
 type Stats struct {
@@ -111,6 +119,10 @@ type Stats struct {
 	Puts       int64
 	BadFrames  int64
 
+	StreamSessions  int64
+	StreamPoints    int64
+	StreamSnapshots int64
+
 	JobTotalNanos int64
 	JobMaxNanos   int64
 
@@ -125,22 +137,25 @@ func (m *metrics) snapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Conns:         m.conns,
-		ConnsOpen:     m.connsOpen,
-		JobsAccepted:  m.jobsAccepted,
-		JobsCompleted: m.jobsCompleted,
-		JobsCanceled:  m.jobsCanceled,
-		JobsFailed:    m.jobsFailed,
-		RejQueueFull:  m.rejQueueFull,
-		RejOverloaded: m.rejOverloaded,
-		RejShutdown:   m.rejShutdown,
-		PerEngine:     m.perEngine,
-		EpsQueries:    m.epsQueries,
-		Pings:         m.pings,
-		Puts:          m.puts,
-		BadFrames:     m.badFrames,
-		JobTotalNanos: int64(m.jobTotal),
-		JobMaxNanos:   int64(m.jobMax),
+		Conns:           m.conns,
+		ConnsOpen:       m.connsOpen,
+		JobsAccepted:    m.jobsAccepted,
+		JobsCompleted:   m.jobsCompleted,
+		JobsCanceled:    m.jobsCanceled,
+		JobsFailed:      m.jobsFailed,
+		RejQueueFull:    m.rejQueueFull,
+		RejOverloaded:   m.rejOverloaded,
+		RejShutdown:     m.rejShutdown,
+		PerEngine:       m.perEngine,
+		EpsQueries:      m.epsQueries,
+		Pings:           m.pings,
+		Puts:            m.puts,
+		BadFrames:       m.badFrames,
+		StreamSessions:  m.streamSessions,
+		StreamPoints:    m.streamPoints,
+		StreamSnapshots: m.streamSnapshots,
+		JobTotalNanos:   int64(m.jobTotal),
+		JobMaxNanos:     int64(m.jobMax),
 	}
 }
 
@@ -170,6 +185,9 @@ func (s *Stats) statsFields() []statsField {
 		statsField{"pings", s.Pings},
 		statsField{"puts", s.Puts},
 		statsField{"bad_frames", s.BadFrames},
+		statsField{"stream_sessions", s.StreamSessions},
+		statsField{"stream_points", s.StreamPoints},
+		statsField{"stream_snapshots", s.StreamSnapshots},
 		statsField{"job_time_total_ns", s.JobTotalNanos},
 		statsField{"job_time_max_ns", s.JobMaxNanos},
 		statsField{"queue_depth", s.QueueDepth},

@@ -55,6 +55,15 @@ const (
 	opEpsQuery = 5 // body: dataset id, eps f64, minPts u32, dim u32, dim f64 coords
 	opCancel   = 6 // body: target tag i64
 	opStats    = 7 // body: empty
+
+	// Stream-session ops: a connection may hold live stream clusterers and
+	// feed them incrementally, instead of shipping a finished dataset through
+	// opPut+opCluster. Sessions are connection-scoped (they die with the
+	// connection) and handled inline on the reader goroutine.
+	opStreamOpen  = 8  // body: dim u32, minPts u32, shards u32, eps f64, lambda f64, pruneBelow f64
+	opStreamAdd   = 9  // body: sid u32, n u32, n*dim f64 coords
+	opStreamSnap  = 10 // body: sid u32
+	opStreamClose = 11 // body: sid u32
 )
 
 // Response status codes (first payload byte of a RespMagic frame). Non-OK
@@ -71,6 +80,7 @@ const (
 	statusUnknownEngine   = 7
 	statusTooManyDatasets = 8
 	statusInternal        = 9
+	statusUnknownStream   = 10
 )
 
 // Typed errors for every way the daemon refuses work. The queue-related ones
@@ -96,6 +106,9 @@ var (
 	ErrTooManyDatasets = errors.New("server: dataset store full")
 	// ErrInternal reports an engine failure while running a job.
 	ErrInternal = errors.New("server: internal error")
+	// ErrUnknownStream reports a stream-session id with no open session
+	// behind it on this connection.
+	ErrUnknownStream = errors.New("server: unknown stream session")
 )
 
 // statusErr maps a non-OK status code to its sentinel error.
@@ -119,6 +132,8 @@ func statusErr(code byte) error {
 		return ErrTooManyDatasets
 	case statusInternal:
 		return ErrInternal
+	case statusUnknownStream:
+		return ErrUnknownStream
 	default:
 		return fmt.Errorf("server: unknown status %d", code)
 	}
@@ -143,9 +158,10 @@ const (
 	// EngineDist is μDBSCAN-D (mudbscan.ClusterDistributed); param is the
 	// rank count (default 4, must be a power of two).
 	EngineDist
-	// EngineStream feeds the dataset through the stream clusterer and labels
-	// each point from the final snapshot; approximate at micro-cluster
-	// granularity but deterministic.
+	// EngineStream feeds the dataset through the streaming tier in row order
+	// and maps the final exact snapshot back onto the rows — byte-identical
+	// to EngineSeq under the landmark window; param is the ingest shard
+	// count (0 = the tier's default), which never changes the result.
 	EngineStream
 	// EngineCell is the grid cell engine (mudbscan.Cluster with
 	// mudbscan.EngineCell); param is the worker count (0 = the engine's

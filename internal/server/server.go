@@ -21,10 +21,11 @@ import (
 // Request validation bounds. These are sanity caps on the protocol, not
 // tuning knobs: anything beyond them is a malformed or hostile request.
 const (
-	maxDim        = 1 << 10
-	maxTenantName = 128
-	maxSharedWork = 1 << 10
-	maxDistRanks  = 64
+	maxDim         = 1 << 10
+	maxTenantName  = 128
+	maxSharedWork  = 1 << 10
+	maxDistRanks   = 64
+	maxConnStreams = 8
 )
 
 // Config tunes a Server. The zero value gets sensible defaults from New.
@@ -250,12 +251,13 @@ func (s *Server) runJob(j *job, scr *mudbscan.Scratch) (*result, error) {
 	return res, nil
 }
 
-// runStream feeds the dataset through the stream clusterer in row order and
-// labels every point from the final snapshot. Approximate at micro-cluster
-// granularity, deterministic (snapshot iterates sorted MC ids), and the only
-// engine without per-point core flags.
+// runStream feeds the dataset through the streaming tier in row order
+// (landmark window, j.param ingest shards) and maps the final exact snapshot
+// back onto the rows by arrival sequence. Under the landmark window nothing
+// expires, so the served bytes are identical to EngineSeq's at every shard
+// count — the conformance suite pins both properties.
 func (s *Server) runStream(j *job) (*result, error) {
-	c, err := stream.New(j.ds.dim, j.eps, j.minPts, stream.Options{})
+	c, err := stream.New(j.ds.dim, j.eps, j.minPts, stream.Options{Shards: j.param})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -266,10 +268,15 @@ func (s *Server) runStream(j *job) (*result, error) {
 	}
 	snap := c.Snapshot()
 	labels := make([]int, len(j.ds.rows))
-	for i, row := range j.ds.rows {
-		labels[i] = snap.Assign(row)
+	corePts := make([]bool, len(j.ds.rows))
+	for i := range labels {
+		labels[i] = mudbscan.Noise
 	}
-	res := &result{labels: labels, core: nil, numClusters: snap.NumClusters}
+	for r := 0; r < snap.Len(); r++ {
+		labels[snap.Seqs[r]] = snap.Labels[r]
+		corePts[snap.Seqs[r]] = snap.Core[r]
+	}
+	res := &result{labels: labels, core: corePts, numClusters: snap.NumClusters}
 	s.results.put(j.key, res.clone())
 	return res, nil
 }
@@ -291,6 +298,12 @@ type serverConn struct {
 
 	qpt    []float64 // decoded ε-query point
 	coords []float64 // decoded Put coordinate block
+
+	// streams holds this connection's open stream sessions. Only the reader
+	// goroutine touches the map (stream ops are handled inline), so it needs
+	// no lock; the sessions die with the connection.
+	streams    map[uint32]*stream.Clusterer
+	nextStream uint32
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -350,6 +363,14 @@ func (c *serverConn) handleFrame(tag int64, payload []byte) bool {
 		c.handleCancel(tag, &r)
 	case opStats:
 		c.handleStats(tag)
+	case opStreamOpen:
+		c.handleStreamOpen(tag, &r)
+	case opStreamAdd:
+		c.handleStreamAdd(tag, &r)
+	case opStreamSnap:
+		c.handleStreamSnap(tag, &r)
+	case opStreamClose:
+		c.handleStreamClose(tag, &r)
 	default:
 		c.sendErr(tag, fmt.Errorf("%w: unknown op %d", ErrBadRequest, op))
 	}
@@ -389,6 +410,8 @@ func errStatus(err error) byte {
 		return statusUnknownEngine
 	case errors.Is(err, ErrTooManyDatasets):
 		return statusTooManyDatasets
+	case errors.Is(err, ErrUnknownStream):
+		return statusUnknownStream
 	default:
 		return statusInternal
 	}
@@ -481,8 +504,15 @@ func (s *Server) resolve(engine Engine, param int, ds *dataset, eps float64, min
 		if param < 1 || param > maxDistRanks || param&(param-1) != 0 {
 			return 0, 0, fmt.Errorf("%w: dist ranks %d must be a power of two in [1,%d]", ErrBadRequest, param, maxDistRanks)
 		}
+	case EngineStream:
+		// param 0 keeps the tier's own default shard count; snapshots are
+		// byte-identical at every shard count, so the cache may fold counts
+		// together if it ever wants to.
+		if param < 0 || param > maxSharedWork {
+			return 0, 0, fmt.Errorf("%w: stream shards %d out of range", ErrBadRequest, param)
+		}
 	default:
-		param = 0 // seq and stream take no parameter
+		param = 0 // seq takes no parameter
 	}
 	return engine, param, nil
 }
@@ -647,4 +677,135 @@ func (c *serverConn) handleStats(tag int64) {
 	c.payload = append(c.payload[:0], statusOK)
 	c.payload = st.encode(c.payload)
 	c.writeLocked(tag)
+}
+
+// handleStreamOpen creates a connection-scoped stream session and returns
+// its id. Sessions are bounded per connection and handled inline on the
+// reader goroutine, so they need no queue slot and no lock.
+func (c *serverConn) handleStreamOpen(tag int64, r *rbuf) {
+	dim := int(r.u32())
+	minPts := int(r.u32())
+	shards := int(r.u32())
+	eps := r.f64()
+	lambda := r.f64()
+	prune := r.f64()
+	if !r.done() || dim < 1 || dim > maxDim || shards < 0 || shards > maxSharedWork {
+		c.sendErr(tag, fmt.Errorf("%w: malformed stream-open", ErrBadRequest))
+		return
+	}
+	if len(c.streams) >= maxConnStreams {
+		c.sendErr(tag, fmt.Errorf("%w: at most %d stream sessions per connection", ErrBadRequest, maxConnStreams))
+		return
+	}
+	sc, err := stream.New(dim, eps, minPts, stream.Options{Lambda: lambda, PruneBelow: prune, Shards: shards})
+	if err != nil {
+		c.sendErr(tag, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	if c.streams == nil {
+		c.streams = make(map[uint32]*stream.Clusterer)
+	}
+	c.nextStream++
+	sid := c.nextStream
+	c.streams[sid] = sc
+	c.s.m.streamOpened()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.payload = append(c.payload[:0], statusOK)
+	c.payload = appendU32(c.payload, sid)
+	c.writeLocked(tag)
+}
+
+// session resolves a stream-session id, or reports the typed refusal.
+func (c *serverConn) session(tag int64, r *rbuf) (uint32, *stream.Clusterer, bool) {
+	sid := r.u32()
+	if r.err {
+		c.sendErr(tag, fmt.Errorf("%w: missing stream session id", ErrBadRequest))
+		return 0, nil, false
+	}
+	sc, ok := c.streams[sid]
+	if !ok {
+		c.sendErr(tag, fmt.Errorf("%w: %d", ErrUnknownStream, sid))
+		return 0, nil, false
+	}
+	return sid, sc, true
+}
+
+// handleStreamAdd absorbs a batch of rows into a session in order. On a
+// rejected row (wrong arity, non-finite coordinate) the rows before it are
+// already absorbed — the error names the failing row so the client can tell.
+func (c *serverConn) handleStreamAdd(tag int64, r *rbuf) {
+	_, sc, ok := c.session(tag, r)
+	if !ok {
+		return
+	}
+	n := int(r.u32())
+	if r.err || n < 1 {
+		c.sendErr(tag, fmt.Errorf("%w: stream-add wants n >= 1", ErrBadRequest))
+		return
+	}
+	dim := sc.Dim()
+	c.coords = r.f64sInto(c.coords, n*dim)
+	if !r.done() {
+		c.sendErr(tag, fmt.Errorf("%w: stream-add body is not sid+n+%d coords", ErrBadRequest, n*dim))
+		return
+	}
+	for i := 0; i < n; i++ {
+		if err := sc.Add(c.coords[i*dim : (i+1)*dim]); err != nil {
+			c.s.m.streamAdded(int64(i))
+			c.sendErr(tag, fmt.Errorf("%w: row %d: %v", ErrBadRequest, i, err))
+			return
+		}
+	}
+	c.s.m.streamAdded(int64(n))
+	c.sendOK(tag)
+}
+
+// handleStreamSnap serves an exact snapshot of the session's live window:
+// the clustering plus each window row's arrival sequence number, so the
+// client can map labels back onto what it ingested.
+func (c *serverConn) handleStreamSnap(tag int64, r *rbuf) {
+	_, sc, ok := c.session(tag, r)
+	if !ok {
+		return
+	}
+	if !r.done() {
+		c.sendErr(tag, fmt.Errorf("%w: malformed stream-snapshot", ErrBadRequest))
+		return
+	}
+	snap := sc.Snapshot()
+	c.s.m.streamSnapped()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	p := append(c.payload[:0], statusOK)
+	p = appendU32(p, uint32(snap.NumClusters))
+	p = appendU32(p, uint32(snap.Len()))
+	for _, l := range snap.Labels {
+		p = appendI64(p, int64(l))
+	}
+	for _, cf := range snap.Core {
+		if cf {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+	}
+	for _, seq := range snap.Seqs {
+		p = appendI64(p, seq)
+	}
+	c.payload = p
+	c.writeLocked(tag)
+}
+
+func (c *serverConn) handleStreamClose(tag int64, r *rbuf) {
+	sid, _, ok := c.session(tag, r)
+	if !ok {
+		return
+	}
+	if !r.done() {
+		c.sendErr(tag, fmt.Errorf("%w: malformed stream-close", ErrBadRequest))
+		return
+	}
+	delete(c.streams, sid)
+	c.sendOK(tag)
 }

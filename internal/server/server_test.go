@@ -9,9 +9,9 @@ import (
 // TestResolveEngineAndParam pins the wire→engine resolution table: auto's
 // profile-then-size cascade (cell for low-d data, otherwise seq below the
 // threshold, shared above), the deterministic shared default, dist's
-// power-of-two rank constraint, and the forced zero parameter for seq and
-// stream. Real datasets drive the auto rows because resolution now profiles
-// the data itself, not just its size.
+// power-of-two rank constraint, stream's shard-count parameter, and the
+// forced zero parameter for seq. Real datasets drive the auto rows because
+// resolution now profiles the data itself, not just its size.
 func TestResolveEngineAndParam(t *testing.T) {
 	srv := New(Config{Workers: 1, AutoThreshold: 8})
 	t.Cleanup(func() { srv.Close() })
@@ -49,8 +49,11 @@ func TestResolveEngineAndParam(t *testing.T) {
 		{EngineAuto, 0, lowDim, EngineCell, 0, nil},
 		{EngineAuto, 0, highDim, EngineSeq, 0, nil},
 		{EngineAuto, 0, highBig, EngineShared, runtime.GOMAXPROCS(0), nil},
-		{EngineSeq, 7, lowDim, EngineSeq, 0, nil}, // seq ignores param
-		{EngineStream, 3, lowDim, EngineStream, 0, nil},
+		{EngineSeq, 7, lowDim, EngineSeq, 0, nil},       // seq ignores param
+		{EngineStream, 0, lowDim, EngineStream, 0, nil}, // 0 = tier default shards
+		{EngineStream, 3, lowDim, EngineStream, 3, nil}, // shard count rides along
+		{EngineStream, -1, lowDim, 0, 0, ErrBadRequest},
+		{EngineStream, maxSharedWork + 1, lowDim, 0, 0, ErrBadRequest},
 		{EngineShared, 0, lowDim, EngineShared, 1, nil}, // deterministic default
 		{EngineShared, 4, lowDim, EngineShared, 4, nil},
 		{EngineShared, -1, lowDim, 0, 0, ErrBadRequest},

@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// mkSnapshot1D builds a snapshot over 1-D points with the given parameters.
+func mkSnapshot1D(t *testing.T, xs []float64, eps float64, minPts int) *Snapshot {
+	t.Helper()
+	c, err := New(1, eps, minPts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if err := c.Add([]float64{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c.Snapshot()
+}
+
+// TestAssignContract pins every documented edge of Snapshot.Assign. The
+// fixture uses coordinates that are multiples of 0.25 with eps values whose
+// squares are exact in binary floating point, so the exact-ε cases are
+// decided by arithmetic, not tolerance.
+func TestAssignContract(t *testing.T) {
+	// Two 3-point 1-D clusters, all core at minPts=3, plus one far noise
+	// point. eps = 1.25.
+	twoClusters := mkSnapshot1D(t,
+		[]float64{0, 0.25, 0.5 /* cluster 0 */, 4.0, 4.25, 4.5 /* cluster 1 */, 20 /* noise */},
+		1.25, 3)
+	if twoClusters.NumClusters != 2 {
+		t.Fatalf("fixture: %d clusters, want 2", twoClusters.NumClusters)
+	}
+	labelAt := func(x float64) int { return twoClusters.Assign([]float64{x}) }
+	left, right := labelAt(0.25), labelAt(4.25)
+	if left == -1 || right == -1 || left == right {
+		t.Fatalf("fixture labels left=%d right=%d", left, right)
+	}
+
+	t.Run("inside-cluster", func(t *testing.T) {
+		if got := labelAt(0.5); got != left {
+			t.Fatalf("Assign(0.5)=%d want %d", got, left)
+		}
+	})
+	t.Run("within-eps-of-core", func(t *testing.T) {
+		// 1.5 is 1.0 < eps from core 0.5: joins as a border would.
+		if got := labelAt(1.5); got != left {
+			t.Fatalf("Assign(1.5)=%d want %d", got, left)
+		}
+	})
+	t.Run("exactly-eps-is-noise", func(t *testing.T) {
+		// 1.75 is exactly 1.25 from the nearest core 0.5; neighborhoods are
+		// open balls (strict <), so it must not join.
+		if got := labelAt(1.75); got != -1 {
+			t.Fatalf("Assign at exact ε boundary = %d, want -1", got)
+		}
+	})
+	t.Run("one-ulp-inside-eps-joins", func(t *testing.T) {
+		q := 0.5 + math.Nextafter(1.25, 0) // one ulp under ε away from core 0.5
+		if got := labelAt(q); got != left {
+			t.Fatalf("Assign one ulp inside ε = %d, want %d", got, left)
+		}
+	})
+	t.Run("near-noise-only-is-noise", func(t *testing.T) {
+		// 20.25 is within ε only of the noise point at 20.
+		if got := labelAt(20.25); got != -1 {
+			t.Fatalf("Assign near noise-only = %d, want -1", got)
+		}
+	})
+	t.Run("far-from-everything", func(t *testing.T) {
+		if got := labelAt(-50); got != -1 {
+			t.Fatalf("Assign far away = %d, want -1", got)
+		}
+	})
+	t.Run("dimension-mismatch", func(t *testing.T) {
+		if got := twoClusters.Assign([]float64{0.25, 0.25}); got != -1 {
+			t.Fatalf("Assign with wrong dim = %d, want -1", got)
+		}
+		if got := twoClusters.Assign(nil); got != -1 {
+			t.Fatalf("Assign(nil) = %d, want -1", got)
+		}
+	})
+	t.Run("non-finite-query", func(t *testing.T) {
+		for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if got := twoClusters.Assign([]float64{v}); got != -1 {
+				t.Fatalf("Assign(%g) = %d, want -1", v, got)
+			}
+		}
+	})
+	t.Run("empty-snapshot", func(t *testing.T) {
+		c, err := New(1, 1.25, 3, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Snapshot().Assign([]float64{0}); got != -1 {
+			t.Fatalf("Assign on empty snapshot = %d, want -1", got)
+		}
+	})
+	t.Run("equidistant-tie-earliest-core-wins", func(t *testing.T) {
+		// Clusters {0,0.25,0.5} and {3.5,3.75,4} at eps=1.75: the query 2.0
+		// is exactly 1.5 < ε from core 0.5 and from core 3.5. The earlier-
+		// arrived core (0.5, row 2) wins the tie.
+		s := mkSnapshot1D(t, []float64{0, 0.25, 0.5, 3.5, 3.75, 4.0}, 1.75, 3)
+		if s.NumClusters != 2 {
+			t.Fatalf("tie fixture: %d clusters, want 2", s.NumClusters)
+		}
+		if got, want := s.Assign([]float64{2.0}), s.Labels[2]; got != want {
+			t.Fatalf("tie Assign = %d, want earliest core's label %d", got, want)
+		}
+	})
+}

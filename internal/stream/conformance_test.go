@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mudbscan/internal/clustering"
+	"mudbscan/internal/core"
+	"mudbscan/internal/data"
+	"mudbscan/internal/dbscan"
+	"mudbscan/internal/geom"
+)
+
+// corpus flattens the pinned conformance table and the scenario corpus into
+// one list: the streaming tier is held to the same bar on both.
+func corpus() []data.Scenario {
+	var cases []data.Scenario
+	for _, c := range data.ConformanceCases() {
+		cases = append(cases, data.Scenario{Name: c.Name, Pts: c.Pts, Eps: c.Eps, MinPts: c.MinPts})
+	}
+	return append(cases, data.Scenarios()...)
+}
+
+func ingest(t *testing.T, pts []geom.Point, eps float64, minPts int, opts Options) *Clusterer {
+	t.Helper()
+	c, err := New(len(pts[0]), eps, minPts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := c.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestSnapshotConformance is the headline contract of the streaming tier:
+// on every conformance dataset and every scenario, at shard counts 1/2/4/8,
+// a landmark snapshot after in-order ingest is (a) an exact DBSCAN
+// clustering of the data — equivalent to brute force with identical cores
+// and noise, valid borders — (b) byte-identical to the batch μR-tree
+// engine's result, and (c) byte-identical across all shard counts.
+func TestSnapshotConformance(t *testing.T) {
+	for _, tc := range corpus() {
+		t.Run(tc.Name, func(t *testing.T) {
+			bruteRes, _ := dbscan.Brute(tc.Pts, tc.Eps, tc.MinPts)
+			muRes, _ := core.Run(tc.Pts, tc.Eps, tc.MinPts, core.Options{})
+			var base *Snapshot
+			for _, shards := range []int{1, 2, 4, 8} {
+				c := ingest(t, tc.Pts, tc.Eps, tc.MinPts, Options{Shards: shards})
+				s := c.Snapshot()
+				if s.Len() != len(tc.Pts) {
+					t.Fatalf("shards=%d: window %d want %d", shards, s.Len(), len(tc.Pts))
+				}
+				res := s.Result()
+				if err := clustering.Equivalent(bruteRes, res); err != nil {
+					t.Fatalf("shards=%d: snapshot not equivalent to brute force: %v", shards, err)
+				}
+				if err := clustering.CheckBorders(tc.Pts, tc.Eps, res); err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if !reflect.DeepEqual(muRes, res) {
+					t.Fatalf("shards=%d: snapshot differs from batch μR-tree result", shards)
+				}
+				if base == nil {
+					base = s
+				} else if !reflect.DeepEqual(base, s) {
+					t.Fatalf("snapshot at %d shards differs from 1 shard", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicPermutedIngest pins the metamorphic relation: ingesting any
+// permutation of a batch and snapshotting yields the same exact clustering
+// (equivalent cores/partition/noise, valid borders) as batch μDBSCAN on the
+// original order.
+func TestMetamorphicPermutedIngest(t *testing.T) {
+	for _, tc := range corpus() {
+		t.Run(tc.Name, func(t *testing.T) {
+			n := len(tc.Pts)
+			batch, _ := core.Run(tc.Pts, tc.Eps, tc.MinPts, core.Options{})
+			rng := rand.New(rand.NewSource(int64(n)))
+			for round := 0; round < 2; round++ {
+				perm := rng.Perm(n)
+				c, err := New(len(tc.Pts[0]), tc.Eps, tc.MinPts, Options{Shards: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, idx := range perm {
+					if err := c.Add(tc.Pts[idx]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				s := c.Snapshot()
+				// Window row r holds the point ingested at position
+				// s.Seqs[r], i.e. original index perm[s.Seqs[r]].
+				labels := make([]int, n)
+				cores := make([]bool, n)
+				for r := 0; r < s.Len(); r++ {
+					orig := perm[s.Seqs[r]]
+					labels[orig] = s.Labels[r]
+					cores[orig] = s.Core[r]
+				}
+				res := &clustering.Result{Labels: labels, Core: cores, NumClusters: s.NumClusters}
+				if err := clustering.Equivalent(batch, res); err != nil {
+					t.Fatalf("permuted ingest not equivalent to batch: %v", err)
+				}
+				if err := clustering.CheckBorders(tc.Pts, tc.Eps, res); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEmptySnapshot pins the zero-state contract: a fresh clusterer
+// snapshots to an empty, valid clustering whose Result matches what the
+// batch engine returns for an empty input.
+func TestEmptySnapshot(t *testing.T) {
+	c, err := New(3, 1, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Len() != 0 || s.NumClusters != 0 {
+		t.Fatalf("empty stream snapshot: %d points, %d clusters", s.Len(), s.NumClusters)
+	}
+	batch, _ := core.Run(nil, 1, 4, core.Options{})
+	if !reflect.DeepEqual(batch, s.Result()) {
+		t.Fatal("empty snapshot Result differs from batch empty result")
+	}
+	if err := s.Result().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

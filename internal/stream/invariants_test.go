@@ -7,154 +7,173 @@ import (
 	"testing"
 )
 
-// TestDampedWeightDecayExact pins the damped window's decay law: without
-// absorptions an MC's weight between two observation times t1 < t2 shrinks
-// by exactly exp(-λ(t2-t1)) — strictly monotone, never rejuvenated by a
-// snapshot or by traffic to other micro-clusters.
-func TestDampedWeightDecayExact(t *testing.T) {
-	const lambda = 0.25
-	c, err := New(2, 0.5, 5, Options{Lambda: lambda, MaintenanceEvery: 1 << 30})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Ten points at t=1..10 into one MC near the origin.
-	for i := 1; i <= 10; i++ {
-		if err := c.AddAt([]float64{0.01 * float64(i%3), 0}, float64(i)); err != nil {
+// drift feeds a slowly drifting cluster stream — the workload where damped
+// and landmark windows diverge most.
+func drift(t *testing.T, c *Clusterer, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		cx := float64(i) * 0.01
+		p := []float64{cx + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1}
+		if err := c.Add(p); err != nil {
 			t.Fatal(err)
-		}
-	}
-	weightAt := func(tm float64) float64 {
-		// Advance time via a far-away point (its own MC), then snapshot:
-		// Snapshot decays every MC to the current time.
-		if err := c.AddAt([]float64{100, 100}, tm); err != nil {
-			t.Fatal(err)
-		}
-		s := c.Snapshot()
-		for i := range s.MCs {
-			if s.MCs[i].Center[0] < 50 {
-				return s.MCs[i].Weight
-			}
-		}
-		t.Fatal("origin MC disappeared")
-		return 0
-	}
-	times := []float64{12, 15, 20, 33, 70}
-	weights := make([]float64, len(times))
-	for i, tm := range times {
-		weights[i] = weightAt(tm)
-	}
-	for i := 1; i < len(times); i++ {
-		if weights[i] >= weights[i-1] {
-			t.Fatalf("weight rose from %g to %g without absorptions", weights[i-1], weights[i])
-		}
-		want := weights[i-1] * math.Exp(-lambda*(times[i]-times[i-1]))
-		if rel := math.Abs(weights[i]-want) / want; rel > 1e-9 {
-			t.Fatalf("t=%g: weight %g, want %g (decay law violated, rel err %g)",
-				times[i], weights[i], want, rel)
 		}
 	}
 }
 
-// TestDampedDecayNeverIncreasesAnyMC sweeps a random damped stream and
-// asserts the global invariant behind pruning: between consecutive
-// snapshots, every surviving MC that absorbed nothing has a strictly
-// smaller weight.
-func TestDampedDecayNeverIncreasesAnyMC(t *testing.T) {
-	c, err := New(2, 0.5, 5, Options{Lambda: 0.05})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(8))
-	prev := map[int]MC{}
-	for round := 0; round < 20; round++ {
-		for i := 0; i < 50; i++ {
-			p := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
-			if err := c.Add(p); err != nil {
-				t.Fatal(err)
+// TestSnapshotIsPureObservation pins that Snapshot never perturbs state, in
+// either window mode: a clusterer snapshotted after every few insertions
+// ends with a snapshot bit-identical to one that only snapshots at the end.
+func TestSnapshotIsPureObservation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"landmark", Options{Shards: 4}},
+		{"damped", Options{Lambda: 0.01, MaintenanceEvery: 97, Shards: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(snapEvery int) *Snapshot {
+				c, err := New(2, 0.5, 6, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(12))
+				for i := 0; i < 2000; i++ {
+					p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+					if err := c.Add(p); err != nil {
+						t.Fatal(err)
+					}
+					if snapEvery > 0 && i%snapEvery == 0 {
+						c.Snapshot() // observation only; must not perturb state
+					}
+				}
+				return c.Snapshot()
 			}
-		}
-		s := c.Snapshot()
-		for _, m := range s.MCs {
-			if old, ok := prev[m.ID]; ok && m.LastUpdate == old.LastUpdate && m.Weight > old.Weight {
-				// Same LastUpdate after decay-to-now means no absorption in
-				// between (absorption stamps a newer time) — weight may not grow.
-				t.Fatalf("MC %d grew from %g to %g without absorbing", m.ID, old.Weight, m.Weight)
+			quiet, noisy := mk(0), mk(97)
+			if !reflect.DeepEqual(quiet, noisy) {
+				t.Fatal("interleaved snapshots changed the final snapshot")
 			}
-			prev[m.ID] = m
-		}
+		})
 	}
 }
 
-// TestLandmarkSnapshotInterleavingIrrelevant pins that Snapshot is a pure
-// observation in the landmark window: a clusterer snapshotted after every
-// few insertions ends bit-identical — micro-clusters, labels, cluster count
-// — to one that only ever snapshots at the end.
-func TestLandmarkSnapshotInterleavingIrrelevant(t *testing.T) {
-	mk := func() (*Clusterer, *rand.Rand) {
-		c, err := New(3, 0.6, 6, Options{})
+// TestDampedHorizonBoundary pins the retention rule bit-exactly: a point is
+// live while its age is at most ln(1/PruneBelow)/Lambda (closed at the
+// horizon) and expires one ulp beyond it.
+func TestDampedHorizonBoundary(t *testing.T) {
+	const lambda, prune = 0.1, 0.1
+	horizon := math.Log(1/prune) / lambda // same computation as the clusterer
+
+	mk := func() *Clusterer {
+		c, err := New(2, 0.5, 3, Options{Lambda: lambda, PruneBelow: prune, MaintenanceEvery: 1 << 30})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return c, rand.New(rand.NewSource(12))
-	}
-	quiet, qrng := mk()
-	noisy, nrng := mk()
-	for i := 0; i < 2000; i++ {
-		p := []float64{qrng.NormFloat64(), qrng.NormFloat64(), qrng.NormFloat64()}
-		q := []float64{nrng.NormFloat64(), nrng.NormFloat64(), nrng.NormFloat64()}
-		if !reflect.DeepEqual(p, q) {
-			t.Fatal("rng streams diverged")
-		}
-		if err := quiet.Add(p); err != nil {
+		if err := c.AddAt([]float64{0, 0}, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := noisy.Add(q); err != nil {
-			t.Fatal(err)
-		}
-		if i%97 == 0 {
-			noisy.Snapshot() // observation only; must not perturb state
-		}
+		return c
 	}
-	a, b := quiet.Snapshot(), noisy.Snapshot()
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("interleaved snapshots changed the final snapshot:\nquiet %+v\nnoisy %+v", a, b)
+
+	c := mk()
+	if err := c.AddAt([]float64{100, 100}, horizon); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Snapshot(); s.Len() != 2 {
+		t.Fatalf("point at age exactly horizon must still be live, window=%d", s.Len())
+	}
+
+	c = mk()
+	if err := c.AddAt([]float64{100, 100}, math.Nextafter(horizon, math.Inf(1))); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Snapshot(); s.Len() != 1 {
+		t.Fatalf("point one ulp past the horizon must have expired, window=%d", s.Len())
 	}
 }
 
-// TestDampedSnapshotInterleavingKeepsClustering is the damped-window analogue:
-// interleaved snapshots apply decay in more, smaller steps, so weights may
-// differ in the last bits, but the clustering itself — MC ids, labels,
-// cluster count — must be unaffected, and weights must agree to a tight
-// relative tolerance.
-func TestDampedSnapshotInterleavingKeepsClustering(t *testing.T) {
-	mk := func(snapEvery int) *Snapshot {
-		c, err := New(2, 0.5, 6, Options{Lambda: 0.01, MaintenanceEvery: 1 << 30})
+// TestMaintenanceCadenceIrrelevant pins that physical eviction is invisible:
+// the same damped stream under wildly different maintenance cadences yields
+// bit-identical snapshots (only the memory bookkeeping may differ).
+func TestMaintenanceCadenceIrrelevant(t *testing.T) {
+	mk := func(every int) *Snapshot {
+		c, err := New(2, 0.4, 5, Options{Lambda: 0.005, MaintenanceEvery: every, Shards: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rng := rand.New(rand.NewSource(21))
-		for i := 0; i < 1500; i++ {
-			p := []float64{rng.NormFloat64(), rng.NormFloat64()}
-			if err := c.Add(p); err != nil {
-				t.Fatal(err)
-			}
-			if snapEvery > 0 && i%snapEvery == 0 {
-				c.Snapshot()
-			}
-		}
+		drift(t, c, 4000, 31)
 		return c.Snapshot()
 	}
-	a, b := mk(0), mk(113)
-	if a.NumClusters != b.NumClusters || len(a.MCs) != len(b.MCs) {
-		t.Fatalf("clustering shape differs: %d/%d clusters, %d/%d MCs",
-			a.NumClusters, b.NumClusters, len(a.MCs), len(b.MCs))
+	base := mk(1 << 30) // never maintains
+	for _, every := range []int{1, 7, 256} {
+		if s := mk(every); !reflect.DeepEqual(base, s) {
+			t.Fatalf("MaintenanceEvery=%d changed the snapshot", every)
+		}
 	}
-	for i := range a.MCs {
-		if a.MCs[i].ID != b.MCs[i].ID || a.Labels[i] != b.Labels[i] {
-			t.Fatalf("MC %d: id/label drifted under interleaved snapshots", i)
-		}
-		if w0, w1 := a.MCs[i].Weight, b.MCs[i].Weight; math.Abs(w0-w1) > 1e-9*math.Max(w0, 1) {
-			t.Fatalf("MC %d: weight drifted %g vs %g", i, w0, w1)
-		}
+}
+
+// TestShardCountDeterminism proves snapshot equivalence at shard counts
+// 1/2/4/8 on a fixed arrival order, in both window modes: the shard count
+// partitions only the bookkeeping, never the clustering.
+func TestShardCountDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"landmark", Options{}},
+		{"damped", Options{Lambda: 0.005, MaintenanceEvery: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var base *Snapshot
+			for _, shards := range []int{1, 2, 4, 8} {
+				opts := tc.opts
+				opts.Shards = shards
+				c, err := New(2, 0.4, 5, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drift(t, c, 3000, 17)
+				s := c.Snapshot()
+				if base == nil {
+					base = s
+					continue
+				}
+				if !reflect.DeepEqual(base, s) {
+					t.Fatalf("snapshot at %d shards differs from 1 shard", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestDampedEvictionReclaimsMemory pins that maintenance actually evicts:
+// under a drifting damped stream the retained point count tracks the live
+// window, not the full history.
+func TestDampedEvictionReclaimsMemory(t *testing.T) {
+	c, err := New(2, 0.4, 5, Options{Lambda: 0.01, MaintenanceEvery: 64, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift(t, c, 10000, 99)
+	s := c.Snapshot()
+	st := c.Stats()
+	if st.Accepted != 10000 {
+		t.Fatalf("accepted %d", st.Accepted)
+	}
+	if st.Retained < s.Len() {
+		t.Fatalf("retained %d < live window %d", st.Retained, s.Len())
+	}
+	// Horizon is ~230 insertions; GC lag is bounded by MaintenanceEvery per
+	// shard, so retention must stay far below the accepted total.
+	if st.Retained > 2000 {
+		t.Fatalf("retained %d points: maintenance is not reclaiming", st.Retained)
+	}
+	if st.EvictedPoints+int64(st.Retained) != st.Accepted {
+		t.Fatalf("evicted %d + retained %d != accepted %d",
+			st.EvictedPoints, st.Retained, st.Accepted)
+	}
+	if st.EvictedCells == 0 || st.Compactions == 0 {
+		t.Fatalf("expected cell evictions and compactions: %+v", st)
 	}
 }

@@ -1,368 +1,417 @@
-// Package stream adapts μDBSCAN's micro-cluster machinery to unbounded data
-// streams — the extension the paper names as future work (§VII, "this
+// Package stream is the production streaming tier of μDBSCAN — the
+// data-stream adaptation the paper names as future work (§VII, "this
 // approach can also be adopted to fast clustering of data streams").
 //
-// Points are absorbed into micro-clusters exactly as in the batch algorithm
-// (nearest center strictly within ε, else a new MC), but instead of point
-// lists each MC keeps decayed weights: a total weight and an inner-circle
-// (ε/2) weight. With decay rate λ > 0 the window is damped (recent points
-// dominate, stale MCs are pruned); with λ = 0 it is a landmark window.
+// A Clusterer ingests an unbounded stream of timestamped points through
+// sharded, cell-hashed ownership: each point hashes to the ε-sided grid cell
+// containing it (its micro-cluster bucket), each cell belongs to exactly one
+// shard, and Add takes only that shard's mutex — so concurrent producers
+// contend only when they land in the same shard.
 //
-// Snapshot produces a clustering at micro-cluster granularity: an MC whose
-// (inner) weight reaches MinPts is core — the streaming analogue of the
-// CMC/DMC rules — and core MCs whose centers lie within 2ε are connected,
-// since their ε-balls overlap. Unlike the batch modes this is approximate
-// (cluster boundaries are resolved to MC granularity), which is inherent to
-// single-pass stream clustering.
+// Two window modes govern retention:
+//
+//   - Landmark (Lambda = 0, the zero value): every accepted point stays in
+//     the window forever.
+//   - Damped (Lambda > 0): a point's weight decays as exp(-Lambda·age); once
+//     it falls below PruneBelow the point has expired. Equivalently, a point
+//     is live iff its age is at most the horizon ln(1/PruneBelow)/Lambda.
+//     Because expiry is a per-point rule, the live window is a pure function
+//     of the accepted stream and the current clock — independent of the
+//     shard count and of when maintenance happens to run.
+//
+// Maintenance (every MaintenanceEvery insertions per shard) physically
+// evicts expired points, deletes cells that became empty, and compacts
+// (merges) the storage of cells that shrank. It only reclaims memory: the
+// clustering visible through Snapshot never depends on it.
+//
+// Snapshot gathers the live window in arrival order and runs the batch
+// μDBSCAN engine (the incremental mc.Builder pipeline) over it, so every
+// snapshot is an *exact* DBSCAN clustering of the window — the same cores,
+// partition and noise as a batch run at the same ε/minPts — not a
+// micro-cluster-granularity approximation.
 package stream
 
 import (
 	"fmt"
 	"math"
-	"sort"
-
-	"mudbscan/internal/geom"
-	"mudbscan/internal/unionfind"
+	"sync"
+	"sync/atomic"
 )
 
-// Options tunes the stream clusterer; the zero value is a landmark window.
+// Options tunes the stream clusterer; the zero value is a single-shard-free
+// (8-shard) landmark window.
 type Options struct {
-	// Lambda is the exponential decay rate per time unit: an MC's weight
-	// halves every ln(2)/Lambda time units without updates. 0 disables
-	// decay.
+	// Lambda is the exponential decay rate per time unit: a point's weight
+	// halves every ln(2)/Lambda time units. 0 selects the landmark window
+	// (no decay, nothing expires).
 	Lambda float64
-	// PruneBelow drops micro-clusters whose decayed weight falls under this
-	// threshold during maintenance (default 0.1 when Lambda > 0).
+	// PruneBelow is the decayed-weight threshold under which a point has
+	// expired (default 0.1 when Lambda > 0; must be in (0,1)). The retention
+	// horizon is ln(1/PruneBelow)/Lambda time units.
 	PruneBelow float64
-	// MaintenanceEvery is the number of insertions between prune passes
-	// (default 1024).
+	// MaintenanceEvery is the number of insertions a shard accepts between
+	// physical eviction/compaction passes (default 1024). Maintenance only
+	// reclaims memory; snapshots are unaffected by its cadence.
 	MaintenanceEvery int
+	// Shards is the number of independently locked cell-hash shards
+	// (default 8). The shard count affects only lock contention, never the
+	// clustering: snapshots are byte-identical at any shard count.
+	Shards int
 }
 
-// MC is one streaming micro-cluster summary.
-type MC struct {
-	ID     int
-	Center geom.Point
-	// Weight is the decayed point weight absorbed by this MC.
-	Weight float64
-	// InnerWeight is the decayed weight of points strictly within ε/2 of
-	// the center (the streaming inner circle).
-	InnerWeight float64
-	// LastUpdate is the logical time of the last absorption.
-	LastUpdate float64
+const (
+	defaultPruneBelow       = 0.1
+	defaultMaintenanceEvery = 1024
+	defaultShards           = 8
+)
+
+// cellKey is the comparable grid key of a point's ε-sided cell: the first
+// four cell coordinates verbatim plus an FNV-1a fold of the remaining
+// dimensions. Beyond d = 4 distinct cells may share a key; a collision only
+// co-locates their points in one storage bucket (and one shard) — the
+// clustering is computed from coordinates, so exactness is unaffected.
+type cellKey struct {
+	lo [4]int32
+	hi uint64
 }
 
-// Clusterer ingests a stream of points and maintains micro-cluster
-// summaries. Not safe for concurrent use.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// less orders keys lexicographically; used to iterate cells deterministically.
+func (k cellKey) less(o cellKey) bool {
+	for i := 0; i < 4; i++ {
+		if k.lo[i] != o.lo[i] {
+			return k.lo[i] < o.lo[i]
+		}
+	}
+	return k.hi < o.hi
+}
+
+// cell is one micro-cluster bucket: the points currently stored in one
+// ε-sided grid cell, as parallel arrays in arrival order. coords is packed
+// row-major (point i occupies coords[i*dim : (i+1)*dim]).
+type cell struct {
+	coords []float64
+	seqs   []int64
+	times  []float64
+}
+
+// shard owns a disjoint subset of the cells under one mutex.
+type shard struct {
+	mu         sync.Mutex
+	cells      map[cellKey]*cell
+	sinceMaint int
+	live       int // points currently stored (incl. expired-but-not-yet-GCed)
+
+	evictedPoints int64
+	evictedCells  int64
+	compactions   int64
+}
+
+// Clusterer ingests a stream of points and serves exact clustering
+// snapshots of the live window. All methods are safe for concurrent use.
 type Clusterer struct {
-	eps    float64
-	minPts int
-	dim    int
-	opts   Options
+	dim     int
+	eps     float64
+	minPts  int
+	opts    Options
+	horizon float64 // retention horizon in time units; +Inf for landmark
 
-	now      float64
-	inserted int
-	nextID   int
-	mcs      map[int]*MC
-	// grid indexes MC centers by ε-sided cell for nearest-center lookup in
-	// low dimension; in high dimension the candidate enumeration would be
-	// exponential, so a linear scan over centers is used instead.
-	grid    map[string][]int
-	useGrid bool
-
-	// Pruned counts micro-clusters dropped by decay maintenance.
-	Pruned int
+	shards []*shard
+	// clock holds math.Float64bits of the largest timestamp observed.
+	// Timestamps are validated non-negative, so the bit patterns order the
+	// same way the floats do and a CAS loop keeps the clock monotone.
+	clock    atomic.Uint64
+	accepted atomic.Int64
 }
 
-const gridDimLimit = 6
-
-// New creates a stream clusterer for dim-dimensional points.
+// New creates a stream clusterer for dim-dimensional points with DBSCAN
+// parameters eps and minPts.
 func New(dim int, eps float64, minPts int, opts Options) (*Clusterer, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("stream: dim must be positive")
 	}
-	if eps <= 0 {
-		return nil, fmt.Errorf("stream: eps must be positive")
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: eps must be a positive finite number")
 	}
 	if minPts < 1 {
 		return nil, fmt.Errorf("stream: minPts must be at least 1")
 	}
-	if opts.Lambda < 0 {
-		return nil, fmt.Errorf("stream: lambda must be non-negative")
+	if opts.Lambda < 0 || math.IsNaN(opts.Lambda) || math.IsInf(opts.Lambda, 0) {
+		return nil, fmt.Errorf("stream: lambda must be non-negative and finite")
 	}
-	if opts.Lambda > 0 && opts.PruneBelow <= 0 {
-		opts.PruneBelow = 0.1
+	if opts.Lambda > 0 {
+		if opts.PruneBelow == 0 {
+			opts.PruneBelow = defaultPruneBelow
+		}
+		if !(opts.PruneBelow > 0 && opts.PruneBelow < 1) {
+			return nil, fmt.Errorf("stream: PruneBelow must be in (0,1), got %g", opts.PruneBelow)
+		}
 	}
 	if opts.MaintenanceEvery <= 0 {
-		opts.MaintenanceEvery = 1024
+		opts.MaintenanceEvery = defaultMaintenanceEvery
 	}
-	return &Clusterer{
-		eps: eps, minPts: minPts, dim: dim, opts: opts,
-		mcs:     make(map[int]*MC),
-		grid:    make(map[string][]int),
-		useGrid: dim <= gridDimLimit,
-	}, nil
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
+	}
+	horizon := math.Inf(1)
+	if opts.Lambda > 0 {
+		horizon = math.Log(1/opts.PruneBelow) / opts.Lambda
+	}
+	c := &Clusterer{
+		dim: dim, eps: eps, minPts: minPts, opts: opts, horizon: horizon,
+		shards: make([]*shard, opts.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{cells: make(map[cellKey]*cell)}
+	}
+	return c, nil
 }
 
-// Len returns the current number of micro-clusters.
-func (c *Clusterer) Len() int { return len(c.mcs) }
+// Dim returns the dimensionality of the stream.
+func (c *Clusterer) Dim() int { return c.dim }
 
-// Inserted returns the number of points absorbed so far.
-func (c *Clusterer) Inserted() int { return c.inserted }
+// Eps returns the clustering radius.
+func (c *Clusterer) Eps() float64 { return c.eps }
+
+// MinPts returns the core-point density threshold.
+func (c *Clusterer) MinPts() int { return c.minPts }
+
+// now returns the current stream clock (the largest timestamp observed).
+func (c *Clusterer) now() float64 {
+	return math.Float64frombits(c.clock.Load())
+}
+
+// advance moves the clock forward to t; it reports false when t precedes the
+// clock (the caller's point must then be rejected).
+func (c *Clusterer) advance(t float64) bool {
+	for {
+		cur := c.clock.Load()
+		if t < math.Float64frombits(cur) {
+			return false
+		}
+		if math.Float64bits(t) == cur || c.clock.CompareAndSwap(cur, math.Float64bits(t)) {
+			return true
+		}
+	}
+}
+
+// tick reserves the next whole-unit timestamp for an Add (one time unit per
+// insertion, matching the damped window's per-insertion decay convention).
+func (c *Clusterer) tick() float64 {
+	for {
+		cur := c.clock.Load()
+		t := math.Float64frombits(cur) + 1
+		if c.clock.CompareAndSwap(cur, math.Float64bits(t)) {
+			return t
+		}
+	}
+}
 
 // Add absorbs p at the next logical timestamp (one unit per insertion).
 func (c *Clusterer) Add(p []float64) error {
-	return c.AddAt(p, c.now+1)
+	if err := c.check(p); err != nil {
+		return err
+	}
+	return c.insert(p, c.tick())
 }
 
-// AddAt absorbs p at time t. Timestamps must be non-decreasing.
+// AddAt absorbs p at time t. Timestamps must be finite, non-negative and
+// non-decreasing; a point whose timestamp precedes the stream clock is
+// rejected without being absorbed.
 func (c *Clusterer) AddAt(p []float64, t float64) error {
+	if err := c.check(p); err != nil {
+		return err
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+		return fmt.Errorf("stream: timestamp %g is not a finite non-negative number", t)
+	}
+	if !c.advance(t) {
+		return fmt.Errorf("stream: timestamp %g precedes current time %g", t, c.now())
+	}
+	return c.insert(p, t)
+}
+
+// check validates a point against the stream's dimensionality and rejects
+// non-finite coordinates.
+func (c *Clusterer) check(p []float64) error {
 	if len(p) != c.dim {
 		return fmt.Errorf("stream: point has dim %d, want %d", len(p), c.dim)
 	}
-	if t < c.now {
-		return fmt.Errorf("stream: timestamp %g precedes current time %g", t, c.now)
-	}
-	c.now = t
-	pt := geom.Point(p)
-
-	m := c.nearestMC(pt)
-	if m == nil {
-		m = &MC{ID: c.nextID, Center: pt.Clone(), LastUpdate: t}
-		c.nextID++
-		c.mcs[m.ID] = m
-		if c.useGrid {
-			k := c.cellKey(m.Center)
-			c.grid[k] = append(c.grid[k], m.ID)
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stream: coordinate %d is not finite", i)
 		}
-	}
-	c.decayMC(m, t)
-	m.Weight++
-	if geom.Within(pt, m.Center, c.eps/2) && !pt.Equal(m.Center) {
-		m.InnerWeight++
-	}
-	m.LastUpdate = t
-
-	c.inserted++
-	if c.opts.Lambda > 0 && c.inserted%c.opts.MaintenanceEvery == 0 {
-		c.maintain()
 	}
 	return nil
 }
 
-// nearestMC returns the micro-cluster whose center is nearest to p among
-// those strictly within ε, or nil.
-func (c *Clusterer) nearestMC(p geom.Point) *MC {
-	var best *MC
-	bestD := c.eps * c.eps
-	consider := func(m *MC) {
-		d := geom.DistSq(p, m.Center)
-		if d < bestD || (d == bestD && best != nil && m.ID < best.ID) {
-			bestD, best = d, m
-		}
+// insert stores an already-validated point at time t in its owning shard.
+func (c *Clusterer) insert(p []float64, t float64) error {
+	seq := c.accepted.Add(1) - 1
+	k := c.keyOf(p)
+	sh := c.shards[c.shardOf(k)]
+	sh.mu.Lock()
+	cl := sh.cells[k]
+	if cl == nil {
+		cl = &cell{}
+		sh.cells[k] = cl
 	}
-	if !c.useGrid {
-		for _, m := range c.mcs {
-			consider(m)
-		}
-		return best
+	cl.coords = append(cl.coords, p...)
+	cl.seqs = append(cl.seqs, seq)
+	cl.times = append(cl.times, t)
+	sh.live++
+	sh.sinceMaint++
+	if sh.sinceMaint >= c.opts.MaintenanceEvery {
+		sh.sinceMaint = 0
+		c.maintainShard(sh, c.now())
 	}
-	c.visitNeighborCells(p, func(id int) {
-		consider(c.mcs[id])
-	})
-	return best
+	sh.mu.Unlock()
+	return nil
 }
 
-// cellKey hashes a point to its ε-sided grid cell.
-func (c *Clusterer) cellKey(p geom.Point) string {
-	b := make([]byte, 0, 8*c.dim)
-	for _, v := range p {
-		cell := int32(math.Floor(v / c.eps))
-		b = append(b, byte(cell), byte(cell>>8), byte(cell>>16), byte(cell>>24))
+// cellIndex maps one coordinate to its ε-sided grid index, clamping the
+// (astronomically out-of-range) extremes so the float→int conversion stays
+// portable.
+//
+//mulint:noalloc
+func cellIndex(x float64) int32 {
+	f := math.Floor(x)
+	if f >= math.MaxInt32 {
+		return math.MaxInt32
 	}
-	return string(b)
+	if f <= math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(f)
 }
 
-// visitNeighborCells enumerates MC ids in the 3^d cells around p.
-func (c *Clusterer) visitNeighborCells(p geom.Point, fn func(id int)) {
-	coords := make([]int32, c.dim)
-	for i, v := range p {
-		coords[i] = int32(math.Floor(v / c.eps))
+// keyOf computes the comparable grid key of p's ε-sided cell: dimensions
+// 0–3 verbatim, the rest FNV-1a-folded into hi.
+//
+//mulint:noalloc
+func (c *Clusterer) keyOf(p []float64) cellKey {
+	var k cellKey
+	n := len(p)
+	if n > 4 {
+		n = 4
 	}
-	cur := make([]int32, c.dim)
-	for i := range cur {
-		cur[i] = coords[i] - 1
+	for i := 0; i < n; i++ {
+		k.lo[i] = cellIndex(p[i] / c.eps)
 	}
-	for {
-		b := make([]byte, 0, 4*c.dim)
-		for _, cell := range cur {
-			b = append(b, byte(cell), byte(cell>>8), byte(cell>>16), byte(cell>>24))
+	if len(p) > 4 {
+		h := uint64(fnvOffset64)
+		for i := 4; i < len(p); i++ {
+			h ^= uint64(uint32(cellIndex(p[i] / c.eps)))
+			h *= fnvPrime64
 		}
-		for _, id := range c.grid[string(b)] {
-			fn(id)
-		}
-		i := 0
-		for ; i < c.dim; i++ {
-			cur[i]++
-			if cur[i] <= coords[i]+1 {
-				break
-			}
-			cur[i] = coords[i] - 1
-		}
-		if i == c.dim {
-			return
-		}
+		k.hi = h
 	}
+	return k
 }
 
-// decayMC applies the exponential decay since the MC's last update.
-func (c *Clusterer) decayMC(m *MC, t float64) {
-	if c.opts.Lambda == 0 || t <= m.LastUpdate {
+// shardOf hashes a cell key to its owning shard.
+//
+//mulint:noalloc
+func (c *Clusterer) shardOf(k cellKey) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(uint32(k.lo[i]))
+		h *= fnvPrime64
+	}
+	h ^= k.hi
+	h *= fnvPrime64
+	return int(h % uint64(len(c.shards)))
+}
+
+// maintainShard physically evicts expired points from one shard: cells whose
+// points all expired are deleted, shrunken cells are compacted in place
+// (their live points merged down in arrival order). Caller holds sh.mu.
+// Per-cell decisions depend only on each point's own timestamp, so the
+// randomized map order cannot leak into anything observable.
+func (c *Clusterer) maintainShard(sh *shard, now float64) {
+	if math.IsInf(c.horizon, 1) {
 		return
 	}
-	f := math.Exp(-c.opts.Lambda * (t - m.LastUpdate))
-	m.Weight *= f
-	m.InnerWeight *= f
-	m.LastUpdate = t
-}
-
-// maintain decays every MC to the current time and prunes the feather-weight
-// ones.
-func (c *Clusterer) maintain() {
-	// Prune in increasing id order: iterating the map directly would apply
-	// the cell-list removals in randomized order, and maintenance must be a
-	// pure function of the ingested stream.
-	ids := make([]int, 0, len(c.mcs))
-	for id := range c.mcs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		m := c.mcs[id]
-		c.decayMC(m, c.now)
-		if m.Weight < c.opts.PruneBelow {
-			delete(c.mcs, id)
-			c.Pruned++
-			if c.useGrid {
-				k := c.cellKey(m.Center)
-				ids := c.grid[k]
-				for i, v := range ids {
-					if v == id {
-						c.grid[k] = append(ids[:i], ids[i+1:]...)
-						break
-					}
-				}
-				if len(c.grid[k]) == 0 {
-					delete(c.grid, k)
-				}
-			}
-		}
-	}
-}
-
-// Snapshot is a point-in-time clustering of the micro-cluster summary.
-type Snapshot struct {
-	eps float64
-	// MCs holds the live micro-clusters, decayed to snapshot time.
-	MCs []MC
-	// Labels[i] is the cluster of MCs[i], or -1 for non-core MCs not
-	// adjacent to any core MC.
-	Labels []int
-	// NumClusters counts the clusters.
-	NumClusters int
-}
-
-// Snapshot clusters the current micro-cluster summary: core MCs (weight or
-// inner weight at least MinPts) connect when their centers are within 2ε;
-// non-core MCs attach to the nearest core within 2ε.
-func (c *Clusterer) Snapshot() *Snapshot {
-	s := &Snapshot{eps: c.eps}
-	ids := make([]int, 0, len(c.mcs))
-	for id := range c.mcs {
-		ids = append(ids, id)
-	}
-	// Deterministic order.
-	sort.Ints(ids)
-	index := make(map[int]int, len(ids))
-	for i, id := range ids {
-		m := c.mcs[id]
-		c.decayMC(m, c.now)
-		s.MCs = append(s.MCs, *m)
-		index[id] = i
-	}
-	n := len(s.MCs)
-	coreMC := make([]bool, n)
-	for i := range s.MCs {
-		m := &s.MCs[i]
-		coreMC[i] = m.Weight >= float64(c.minPts) || m.InnerWeight >= float64(c.minPts)
-	}
-	uf := unionfind.New(n)
-	link := 2 * c.eps
-	for i := 0; i < n; i++ {
-		if !coreMC[i] {
-			continue
-		}
-		for j := i + 1; j < n; j++ {
-			if !coreMC[j] {
+	cutoff := now - c.horizon
+	for key, cl := range sh.cells {
+		n := len(cl.times)
+		w := 0
+		for i := 0; i < n; i++ {
+			if cl.times[i] < cutoff {
 				continue
 			}
-			if geom.WithinClosed(s.MCs[i].Center, s.MCs[j].Center, link) {
-				uf.Union(i, j)
+			if w != i {
+				copy(cl.coords[w*c.dim:(w+1)*c.dim], cl.coords[i*c.dim:(i+1)*c.dim])
+				cl.seqs[w] = cl.seqs[i]
+				cl.times[w] = cl.times[i]
 			}
+			w++
 		}
-	}
-	s.Labels = make([]int, n)
-	labelOf := make(map[int]int)
-	next := 0
-	for i := range s.Labels {
-		s.Labels[i] = -1
-		if !coreMC[i] {
+		if w == n {
 			continue
 		}
-		r := uf.Find(i)
-		l, ok := labelOf[r]
-		if !ok {
-			l = next
-			labelOf[r] = l
-			next++
-		}
-		s.Labels[i] = l
-	}
-	// Attach non-core MCs to the nearest core within the linking range.
-	for i := range s.Labels {
-		if coreMC[i] {
+		sh.evictedPoints += int64(n - w)
+		sh.live -= n - w
+		if w == 0 {
+			delete(sh.cells, key)
+			sh.evictedCells++
 			continue
 		}
-		bestD := math.Inf(1)
-		for j := range s.MCs {
-			if !coreMC[j] {
-				continue
-			}
-			d := geom.DistSq(s.MCs[i].Center, s.MCs[j].Center)
-			if d <= link*link && d < bestD {
-				bestD = d
-				s.Labels[i] = s.Labels[j]
-			}
-		}
+		cl.coords = cl.coords[:w*c.dim]
+		cl.seqs = cl.seqs[:w]
+		cl.times = cl.times[:w]
+		sh.compactions++
 	}
-	s.NumClusters = next
-	return s
 }
 
-// Assign returns the snapshot cluster for an arbitrary point: the label of
-// the nearest micro-cluster whose center is strictly within ε, or -1.
-func (s *Snapshot) Assign(p []float64) int {
-	best := -1
-	bestD := s.eps * s.eps
-	for i := range s.MCs {
-		d := geom.DistSq(geom.Point(p), s.MCs[i].Center)
-		if d < bestD {
-			bestD = d
-			best = i
-		}
-	}
-	if best == -1 {
-		return -1
-	}
-	return s.Labels[best]
+// Stats is a point-in-time summary of the clusterer's bookkeeping.
+type Stats struct {
+	// Accepted counts the points absorbed by Add/AddAt since creation.
+	Accepted int64
+	// Retained counts the points physically stored right now (live points
+	// plus any expired points maintenance has not yet reclaimed).
+	Retained int
+	// Cells counts the non-empty micro-cluster buckets.
+	Cells int
+	// EvictedPoints and EvictedCells count what maintenance reclaimed.
+	EvictedPoints int64
+	EvictedCells  int64
+	// Compactions counts in-place cell merges (shrunken cells compacted).
+	Compactions int64
+	// Shards is the configured shard count.
+	Shards int
 }
+
+// Stats reports ingest and eviction counters. Counter totals (unlike
+// snapshots) depend on maintenance cadence and are not shard-invariant.
+func (c *Clusterer) Stats() Stats {
+	st := Stats{Accepted: c.accepted.Load(), Shards: len(c.shards)}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Retained += sh.live
+		st.Cells += len(sh.cells)
+		st.EvictedPoints += sh.evictedPoints
+		st.EvictedCells += sh.evictedCells
+		st.Compactions += sh.compactions
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the current number of non-empty micro-cluster buckets.
+func (c *Clusterer) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.cells)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Inserted returns the number of points absorbed so far.
+func (c *Clusterer) Inserted() int { return int(c.accepted.Load()) }

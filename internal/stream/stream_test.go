@@ -1,7 +1,9 @@
 package stream
 
 import (
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -22,11 +24,17 @@ func TestValidation(t *testing.T) {
 	if _, err := New(2, 0, 5, Options{}); err == nil {
 		t.Error("eps 0 should error")
 	}
+	if _, err := New(2, math.Inf(1), 5, Options{}); err == nil {
+		t.Error("infinite eps should error")
+	}
 	if _, err := New(2, 1, 0, Options{}); err == nil {
 		t.Error("minPts 0 should error")
 	}
 	if _, err := New(2, 1, 5, Options{Lambda: -1}); err == nil {
 		t.Error("negative lambda should error")
+	}
+	if _, err := New(2, 1, 5, Options{Lambda: 0.1, PruneBelow: 1.5}); err == nil {
+		t.Error("PruneBelow >= 1 should error")
 	}
 	c, err := New(2, 1, 5, Options{})
 	if err != nil {
@@ -35,11 +43,26 @@ func TestValidation(t *testing.T) {
 	if err := c.Add([]float64{1}); err == nil {
 		t.Error("dim mismatch should error")
 	}
+	if err := c.Add([]float64{math.NaN(), 0}); err == nil {
+		t.Error("NaN coordinate should error")
+	}
+	if err := c.Add([]float64{math.Inf(-1), 0}); err == nil {
+		t.Error("infinite coordinate should error")
+	}
+	if err := c.AddAt([]float64{1, 2}, math.NaN()); err == nil {
+		t.Error("NaN timestamp should error")
+	}
+	if err := c.AddAt([]float64{1, 2}, -1); err == nil {
+		t.Error("negative timestamp should error")
+	}
 	if err := c.AddAt([]float64{1, 2}, 5); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.AddAt([]float64{1, 2}, 1); err == nil {
 		t.Error("time going backwards should error")
+	}
+	if c.Inserted() != 1 {
+		t.Errorf("rejected points must not count as inserted, got %d", c.Inserted())
 	}
 }
 
@@ -54,10 +77,13 @@ func TestTwoStreamsTwoClusters(t *testing.T) {
 	if c.Inserted() != 4000 {
 		t.Fatalf("Inserted=%d", c.Inserted())
 	}
-	if c.Len() == 0 || c.Len() > 2000 {
-		t.Fatalf("MC count %d implausible", c.Len())
+	if c.Len() == 0 || c.Len() > 4000 {
+		t.Fatalf("cell count %d implausible", c.Len())
 	}
 	s := c.Snapshot()
+	if s.Len() != 4000 {
+		t.Fatalf("landmark window holds %d points, want 4000", s.Len())
+	}
 	if s.NumClusters != 2 {
 		t.Fatalf("clusters=%d want 2", s.NumClusters)
 	}
@@ -80,16 +106,20 @@ func TestLandmarkWindowNeverForgets(t *testing.T) {
 	if s.NumClusters != 2 {
 		t.Fatalf("landmark window lost a cluster: %d", s.NumClusters)
 	}
-	if c.Pruned != 0 {
-		t.Fatalf("landmark window pruned %d MCs", c.Pruned)
+	if st := c.Stats(); st.EvictedPoints != 0 || st.EvictedCells != 0 {
+		t.Fatalf("landmark window evicted: %+v", st)
+	}
+	if s.Len() != 6000 {
+		t.Fatalf("landmark window holds %d points, want 6000", s.Len())
 	}
 }
 
 func TestDampedWindowForgets(t *testing.T) {
+	// Horizon = ln(1/0.1)/0.01 ≈ 230 insertions: after the long drift the
+	// origin cluster has fully expired.
 	c, _ := New(2, 0.5, 10, Options{Lambda: 0.01, MaintenanceEvery: 256})
 	rng := rand.New(rand.NewSource(3))
 	feed(t, c, rng, 1000, 0, 0, 0.2)
-	// A long quiet drift to a new region: the old cluster decays away.
 	feed(t, c, rng, 20000, 30, 30, 0.2)
 	s := c.Snapshot()
 	if s.NumClusters != 1 {
@@ -98,35 +128,22 @@ func TestDampedWindowForgets(t *testing.T) {
 	if s.Assign([]float64{0, 0}) != -1 {
 		t.Fatal("stale region should no longer assign")
 	}
-	if c.Pruned == 0 {
-		t.Fatal("expected pruned micro-clusters under decay")
+	if s.Len() >= 1000 {
+		t.Fatalf("window of %d points exceeds the decay horizon", s.Len())
+	}
+	st := c.Stats()
+	if st.EvictedPoints == 0 || st.EvictedCells == 0 {
+		t.Fatalf("expected evictions under decay: %+v", st)
+	}
+	if st.Accepted != 21000 {
+		t.Fatalf("accepted %d want 21000", st.Accepted)
+	}
+	if st.Retained < s.Len() {
+		t.Fatalf("retained %d < window %d", st.Retained, s.Len())
 	}
 }
 
-func TestMCInvariants(t *testing.T) {
-	c, _ := New(3, 0.8, 5, Options{})
-	rng := rand.New(rand.NewSource(4))
-	for i := 0; i < 3000; i++ {
-		p := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
-		if err := c.Add(p); err != nil {
-			t.Fatal(err)
-		}
-	}
-	s := c.Snapshot()
-	var totalWeight float64
-	for i := range s.MCs {
-		m := &s.MCs[i]
-		totalWeight += m.Weight
-		if m.InnerWeight > m.Weight {
-			t.Fatalf("MC %d inner weight exceeds total", m.ID)
-		}
-	}
-	if totalWeight < 2999.5 || totalWeight > 3000.5 {
-		t.Fatalf("landmark weights should sum to n, got %g", totalWeight)
-	}
-}
-
-func TestHighDimFallsBackToLinearScan(t *testing.T) {
+func TestHighDimStream(t *testing.T) {
 	c, _ := New(16, 5, 5, Options{})
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 500; i++ {
@@ -142,6 +159,9 @@ func TestHighDimFallsBackToLinearScan(t *testing.T) {
 	if s.NumClusters != 1 {
 		t.Fatalf("one dense gaussian should be one cluster, got %d", s.NumClusters)
 	}
+	if s.Dim != 16 || s.Points.Dim() != 16 {
+		t.Fatalf("snapshot dim %d/%d want 16", s.Dim, s.Points.Dim())
+	}
 }
 
 func TestDeterministicSnapshots(t *testing.T) {
@@ -153,12 +173,63 @@ func TestDeterministicSnapshots(t *testing.T) {
 		return c.Snapshot()
 	}
 	a, b := mk(), mk()
-	if a.NumClusters != b.NumClusters || len(a.MCs) != len(b.MCs) {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatal("snapshots differ across identical runs")
 	}
-	for i := range a.Labels {
-		if a.Labels[i] != b.Labels[i] {
-			t.Fatal("labels differ across identical runs")
+}
+
+func TestSnapshotSeqsAndTimes(t *testing.T) {
+	c, _ := New(1, 1, 2, Options{Shards: 4})
+	for i := 0; i < 50; i++ {
+		if err := c.Add([]float64{float64(i % 5)}); err != nil {
+			t.Fatal(err)
 		}
+	}
+	s := c.Snapshot()
+	if s.Len() != 50 {
+		t.Fatalf("window %d want 50", s.Len())
+	}
+	for i := 0; i < 50; i++ {
+		if s.Seqs[i] != int64(i) {
+			t.Fatalf("Seqs[%d]=%d want %d (arrival order)", i, s.Seqs[i], i)
+		}
+		if s.Times[i] != float64(i+1) {
+			t.Fatalf("Times[%d]=%g want %d", i, s.Times[i], i+1)
+		}
+		if got := s.Points.Coord(i, 0); got != float64(i%5) {
+			t.Fatalf("Points[%d]=%g want %d", i, got, i%5)
+		}
+	}
+}
+
+// TestAddWarmPathAllocs gates the warm ingest path: once cells exist and
+// their arrays have grown, Add must stay amortized allocation-free (the
+// struct cellKey replaced the per-call string key of the prototype).
+func TestAddWarmPathAllocs(t *testing.T) {
+	c, err := New(2, 1, 5, Options{MaintenanceEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	pts := make([][]float64, 4096)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 8, rng.Float64() * 8}
+	}
+	for r := 0; r < 8; r++ {
+		for _, p := range pts {
+			if err := c.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(4096, func() {
+		if err := c.Add(pts[i%len(pts)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > 0.5 {
+		t.Fatalf("warm Add allocates %.3f objects/op, want amortized < 0.5", avg)
 	}
 }

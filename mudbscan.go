@@ -124,16 +124,18 @@ func ChooseEngine(points [][]float64, eps float64, minPts int) Engine {
 
 // config collects the option knobs.
 type config struct {
-	fanout      int
-	disableWndq bool
-	workers     int
-	sampleSize  int
-	seed        int64
-	distSerial  bool
-	hardened    bool
-	faultSeed   *int64
-	scratch     *Scratch
-	engine      Engine
+	fanout       int
+	disableWndq  bool
+	workers      int
+	sampleSize   int
+	seed         int64
+	distSerial   bool
+	hardened     bool
+	faultSeed    *int64
+	scratch      *Scratch
+	engine       Engine
+	streamLambda float64
+	streamPrune  float64
 }
 
 // Scratch is reusable query-scratch storage lent to clustering runs: the

@@ -1,25 +1,91 @@
 package mudbscan
 
-import "mudbscan/internal/stream"
+import (
+	"mudbscan/internal/core"
+	"mudbscan/internal/stream"
+)
 
-// StreamClusterer maintains micro-cluster summaries over an unbounded point
-// stream and produces clusterings on demand — the data-stream adaptation of
-// μDBSCAN (the paper's §VII future work). Unlike the batch entry points the
-// snapshots are approximate: cluster boundaries are resolved at
-// micro-cluster granularity, which is inherent to single-pass stream
-// clustering.
+// StreamClusterer ingests an unbounded point stream through sharded,
+// cell-hashed ownership and serves exact clustering snapshots of the live
+// window — the data-stream adaptation of μDBSCAN (the paper's §VII future
+// work). Snapshots are not approximations: each one is byte-for-byte the
+// batch μDBSCAN clustering of the points currently in the window, with the
+// same cores, partition and noise, at every shard count. All methods are
+// safe for concurrent use.
 type StreamClusterer = stream.Clusterer
 
-// StreamSnapshot is a point-in-time clustering of the stream's
-// micro-cluster summary.
+// StreamSnapshot is a point-in-time exact clustering of the stream's live
+// window, carrying the window's points, arrival sequence numbers and
+// timestamps alongside the labels.
 type StreamSnapshot = stream.Snapshot
 
-// StreamOptions tunes the stream clusterer's window: Lambda > 0 gives a
-// damped window that forgets stale regions; Lambda = 0 a landmark window.
+// StreamOptions tunes the stream clusterer's window and sharding: Lambda > 0
+// gives a damped window whose stale points expire; Lambda = 0 a landmark
+// window that never forgets; Shards sets ingest concurrency (snapshots are
+// identical at any shard count).
 type StreamOptions = stream.Options
+
+// StreamStats summarizes the stream clusterer's ingest and eviction counters.
+type StreamStats = stream.Stats
 
 // NewStreamClusterer creates a stream clusterer for dim-dimensional points
 // with DBSCAN parameters eps and minPts.
 func NewStreamClusterer(dim int, eps float64, minPts int, opts StreamOptions) (*StreamClusterer, error) {
 	return stream.New(dim, eps, minPts, opts)
+}
+
+// WithStreamWindow selects ClusterStream's damped window: a point's weight
+// decays as exp(-lambda·age) with one time unit per ingested point, and the
+// point expires once its weight falls below pruneBelow (pass 0 for the
+// default 0.1). With lambda = 0 (the default) the window is a landmark
+// window and ClusterStream matches Cluster exactly.
+func WithStreamWindow(lambda, pruneBelow float64) Option {
+	return func(c *config) { c.streamLambda = lambda; c.streamPrune = pruneBelow }
+}
+
+// ClusterStream feeds points through the streaming tier in arrival order
+// (one logical time unit per point) and returns the final snapshot's
+// clustering mapped back onto the input rows. Under the default landmark
+// window the result is identical to Cluster's. Under a damped window
+// (WithStreamWindow) points that expired before the end of the stream are
+// reported as Noise with Core false, and the live points carry the exact
+// clustering of the final window. WithWorkers sets the ingest shard count;
+// it changes only lock granularity, never the result.
+func ClusterStream(points [][]float64, eps float64, minPts int, opts ...Option) (*Result, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pts, err := validate(points, eps, minPts)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		r, _ := core.Run(nil, eps, minPts, core.Options{})
+		return r, nil
+	}
+	c, err := stream.New(len(pts[0]), eps, minPts, stream.Options{
+		Lambda:     cfg.streamLambda,
+		PruneBelow: cfg.streamPrune,
+		Shards:     cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if err := c.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	snap := c.Snapshot()
+	labels := make([]int, len(pts))
+	corePts := make([]bool, len(pts))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	for r := 0; r < snap.Len(); r++ {
+		labels[snap.Seqs[r]] = snap.Labels[r]
+		corePts[snap.Seqs[r]] = snap.Core[r]
+	}
+	return &Result{Labels: labels, Core: corePts, NumClusters: snap.NumClusters}, nil
 }
