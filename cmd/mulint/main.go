@@ -2,19 +2,25 @@
 // the module: determinism (no map-iteration-order leaks, no wall-clock or
 // global-RNG state in algorithm packages), zero-alloc hot paths
 // (//mulint:noalloc), concurrency discipline (//mulint:inline reachability,
-// no by-value lock copies), and codec/transport error discipline.
+// no by-value lock copies), codec/transport error discipline, wire-decode
+// guard dominance (decodesafe), goroutine join coverage (leakcheck), and
+// wire-protocol schema drift against wire.lock (wireproto).
 //
 // Usage:
 //
 //	go run ./cmd/mulint ./...
+//	go run ./cmd/mulint -json ./...
 //
 // The argument form mirrors go vet for CI ergonomics, but the tool always
 // analyzes the whole module containing the working directory (the invariants
 // are cross-package, so partial loads would weaken them). Exit status is 1
-// when any diagnostic survives //mulint:allow suppression.
+// when any diagnostic survives //mulint:allow suppression. With -json each
+// diagnostic is one JSON object per line ({file, line, col, rule, msg}) for
+// machine consumers — CI feeds this to a problem matcher.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +36,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("mulint", flag.ContinueOnError)
 	timing := fs.Bool("time", false, "print load/analysis wall-clock timing to stderr")
+	asJSON := fs.Bool("json", false, "emit one JSON object per diagnostic line instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,7 +62,19 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "mulint: loaded %d packages in %v, analyzed in %v\n",
 			len(prog.Packages), loadDur.Round(time.Millisecond), runDur.Round(time.Millisecond))
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *asJSON {
+			// One object per line, stable field order via the struct.
+			enc.Encode(struct {
+				File string `json:"file"`
+				Line int    `json:"line"`
+				Col  int    `json:"col"`
+				Rule string `json:"rule"`
+				Msg  string `json:"msg"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg})
+			continue
+		}
 		fmt.Println(d.String())
 	}
 	if len(diags) > 0 {

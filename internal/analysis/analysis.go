@@ -62,6 +62,16 @@ func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
 	})
 }
 
+// ReportAtf records a diagnostic at an already-resolved position — for
+// findings that live outside Go source, like wire.lock lines.
+func (p *Pass) ReportAtf(pos token.Position, check, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  pos,
+		Rule: p.analyzer.Name + "/" + check,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
 // All returns the full invariant catalog in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -69,6 +79,9 @@ func All() []*Analyzer {
 		NoallocAnalyzer,
 		ConcurrencyAnalyzer,
 		ErrcheckAnalyzer,
+		DecodesafeAnalyzer,
+		LeakcheckAnalyzer,
+		WireprotoAnalyzer,
 	}
 }
 

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The v2 (flow-sensitive) golden suites: wire-decode guard dominance,
+// goroutine join coverage, and wire-protocol schema drift.
+
+func TestGoldenDecodesafe(t *testing.T) { runGolden(t, "decodesafe", DecodesafeAnalyzer) }
+func TestGoldenLeakcheck(t *testing.T)  { runGolden(t, "leakcheck", LeakcheckAnalyzer) }
+func TestGoldenWireproto(t *testing.T)  { runGolden(t, "wireproto", WireprotoAnalyzer) }
+
+// TestLeakcheckDetachedHygiene pins the escape hatch's self-policing: a
+// reasonless //mulint:detached is a finding that shields nothing (so the go
+// statement under it still reports), and a detached with no go statement
+// under it is stale. These diagnostics anchor to comment lines, so they are
+// asserted here instead of via // want comments.
+func TestLeakcheckDetachedHygiene(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "leakmeta"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := Run(prog, []*Analyzer{LeakcheckAnalyzer})
+	var needsReason, stale, unjoined int
+	for _, d := range diags {
+		switch {
+		case d.Rule == "leakcheck/detached" && strings.Contains(d.Msg, "needs a reason"):
+			needsReason++
+		case d.Rule == "leakcheck/detached" && strings.Contains(d.Msg, "matches no go statement"):
+			stale++
+		case d.Rule == "leakcheck/unjoined":
+			unjoined++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if needsReason != 1 || stale != 1 || unjoined != 1 {
+		t.Errorf("got %d needs-reason + %d stale + %d unjoined, want 1+1+1:\n%s",
+			needsReason, stale, unjoined, renderDiags(diags))
+	}
+}
+
+// TestWireLockHygiene pins the lock-side diagnostics, which anchor to
+// wire.lock lines: a locked constant missing from the source, a malformed
+// lock line, and a duplicate lock entry.
+func TestWireLockHygiene(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "wirelock"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := Run(prog, []*Analyzer{WireprotoAnalyzer})
+	var removed, malformed, dup int
+	for _, d := range diags {
+		switch {
+		case d.Rule == "wireproto/removed":
+			removed++
+			if !strings.HasSuffix(d.Pos.Filename, "wire.lock") || d.Pos.Line != 3 {
+				t.Errorf("removed diagnostic anchored at %s, want wire.lock:3", d.Pos)
+			}
+		case d.Rule == "wireproto/lock" && strings.Contains(d.Msg, "malformed"):
+			malformed++
+		case d.Rule == "wireproto/lock" && strings.Contains(d.Msg, "duplicate"):
+			dup++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if removed != 1 || malformed != 1 || dup != 1 {
+		t.Errorf("got %d removed + %d malformed + %d duplicate, want 1+1+1:\n%s",
+			removed, malformed, dup, renderDiags(diags))
+	}
+}

@@ -5,17 +5,28 @@ import (
 	"strings"
 )
 
-// Function annotations recognized in doc comments:
+// Annotations recognized in doc comments:
 //
-//	//mulint:noalloc — the body must be allocation-free (noalloc analyzer)
-//	//mulint:inline  — no go statement may be reachable (concurrency analyzer)
+//	//mulint:noalloc          — the body must be allocation-free (noalloc)
+//	//mulint:inline           — no go statement may be reachable (concurrency)
+//	//mulint:tainted <names>  — the named params (on a func) or fields (on a
+//	                            struct type) hold wire-originating bytes
+//	                            (decodesafe)
+//	//mulint:wire <group>     — the const block is an append-only wire enum,
+//	                            locked in wire.lock (wireproto)
+//	//mulint:detached <why>   — line annotation: the go statement on or below
+//	                            this line deliberately outlives its spawner
+//	                            (leakcheck)
 //
-// The marker must be its own comment line in the function's doc block;
-// trailing prose after the marker is allowed and encouraged (the repo pairs
-// each //mulint:noalloc with a pointer to its AllocsPerRun gate).
+// The doc markers must be their own comment line in the declaration's doc
+// block; trailing prose after the marker is allowed and encouraged (the repo
+// pairs each //mulint:noalloc with a pointer to its AllocsPerRun gate).
 const (
-	MarkerNoalloc = "//mulint:noalloc"
-	MarkerInline  = "//mulint:inline"
+	MarkerNoalloc  = "//mulint:noalloc"
+	MarkerInline   = "//mulint:inline"
+	MarkerTainted  = "//mulint:tainted"
+	MarkerWire     = "//mulint:wire"
+	MarkerDetached = "//mulint:detached"
 )
 
 // hasMarker reports whether fd's doc comment carries the given marker.

@@ -1,0 +1,563 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is mulint's intra-procedural control-flow graph: basic blocks
+// over ast.Stmt, built with nothing but the parse tree (no x/tools). The
+// flow-sensitive analyzers (decodesafe, leakcheck) run their dataflow over
+// these blocks; everything else in the catalog stays purely syntactic.
+//
+// Conventions:
+//   - blocks[0] is the entry block; g.exit is the single synthetic exit
+//     every return flows into (falling off the end of the body too).
+//   - Branch conditions are recorded as ast.Expr nodes in the block that
+//     evaluates them; both successors of a condition block see the same
+//     condition, so a dataflow transfer that wants path-sensitivity must
+//     supply it itself (decodesafe deliberately does not — see taint.go).
+//   - Compound statements are never recorded whole. An if contributes its
+//     Init and Cond; a for its Init/Cond/Post; a switch its Init/Tag; a
+//     range statement is recorded as-is but consumers must not descend into
+//     its Body (walkShallow enforces this by pruning nested BlockStmts).
+//   - panic(...) and calls to the surface fatal helpers terminate a block
+//     with no successors: facts do not flow from a path that cannot return.
+//   - defer statements are collected on the side (g.defers); they run at
+//     every exit, so analyzers treat them as facts holding on the exit block.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node // ast.Stmt or ast.Expr (conditions), in evaluation order
+	succs []*cfgBlock
+}
+
+// funcCFG is the graph of one function or closure body.
+type funcCFG struct {
+	blocks []*cfgBlock // blocks[0] is entry
+	exit   *cfgBlock
+	defers []*ast.DeferStmt
+}
+
+// preds returns the predecessor lists, index-aligned with g.blocks.
+func (g *funcCFG) preds() [][]*cfgBlock {
+	p := make([][]*cfgBlock, len(g.blocks))
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			p[s.index] = append(p[s.index], b)
+		}
+	}
+	return p
+}
+
+// cfgScope is one enclosing breakable/continuable construct.
+type cfgScope struct {
+	label   string
+	breakTo *cfgBlock
+	contTo  *cfgBlock // nil for switch/select scopes
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *cfgBlock
+	scopes []cfgScope
+	labels map[string]*cfgBlock
+
+	// pendingLabel is the label of a LabeledStmt whose statement is about to
+	// be built; the next loop/switch/select consumes it for labeled
+	// break/continue resolution.
+	pendingLabel string
+
+	// gotos are forward references resolved once all labels are known.
+	gotos []struct {
+		from  *cfgBlock
+		label string
+	}
+}
+
+// buildCFG constructs the CFG of body. It never fails: constructs it cannot
+// model precisely degrade to extra edges (over-approximation), never missing
+// ones, so may-reach analyses stay sound for leak checking and must-hold
+// analyses stay conservative for guard checking.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, labels: map[string]*cfgBlock{}}
+	entry := b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = entry
+	b.stmt(body)
+	b.link(b.cur, b.g.exit)
+	for _, g := range b.gotos {
+		if target := b.labels[g.label]; target != nil {
+			b.link(g.from, target)
+		}
+	}
+	b.prune()
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// breakTarget finds the break destination for the given label ("" = innermost).
+func (b *cfgBuilder) breakTarget(label string) *cfgBlock {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if label == "" || b.scopes[i].label == label {
+			return b.scopes[i].breakTo
+		}
+	}
+	return nil
+}
+
+// contTarget finds the continue destination for the given label.
+func (b *cfgBuilder) contTarget(label string) *cfgBlock {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].contTo == nil {
+			continue // switch/select: continue passes through to the loop
+		}
+		if label == "" || b.scopes[i].label == label {
+			return b.scopes[i].contTo
+		}
+	}
+	return nil
+}
+
+// terminate ends the current block with no successors and starts a fresh,
+// unreachable one for any (dead) statements that follow.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+	case *ast.LabeledStmt:
+		// The label gets its own block so gotos land before the statement.
+		lb := b.newBlock()
+		b.link(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.link(b.cur, b.g.exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.link(b.cur, b.breakTarget(label))
+			b.terminate()
+		case token.CONTINUE:
+			b.link(b.cur, b.contTarget(label))
+			b.terminate()
+		case token.GOTO:
+			if target := b.labels[label]; target != nil {
+				b.link(b.cur, target)
+			} else {
+				b.gotos = append(b.gotos, struct {
+					from  *cfgBlock
+					label string
+				}{b.cur, label})
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch builder.
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, s)
+		b.cur.nodes = append(b.cur.nodes, s)
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		if isTerminalCall(s.X) {
+			b.terminate()
+		}
+	default:
+		// Assign, IncDec, Send, Go, Decl, Empty: straight-line.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.nodes = append(b.cur.nodes, s.Init)
+	}
+	b.cur.nodes = append(b.cur.nodes, s.Cond)
+	cond := b.cur
+
+	then := b.newBlock()
+	b.link(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	after := b.newBlock()
+	if s.Else != nil {
+		els := b.newBlock()
+		b.link(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.link(b.cur, after)
+	} else {
+		b.link(cond, after)
+	}
+	b.link(thenEnd, after)
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.nodes = append(b.cur.nodes, s.Init)
+	}
+	head := b.newBlock()
+	b.link(b.cur, head)
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, s.Cond)
+	}
+	body := b.newBlock()
+	b.link(head, body)
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.link(head, after) // condition false
+	}
+	contTo := head
+	if s.Post != nil {
+		post := b.newBlock()
+		post.nodes = append(post.nodes, s.Post)
+		b.link(post, head)
+		contTo = post
+	}
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, contTo: contTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.link(b.cur, contTo)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.link(b.cur, head)
+	// The RangeStmt itself is the head's node: it evaluates s.X and assigns
+	// Key/Value each iteration. Consumers walk it shallowly (the Body is a
+	// BlockStmt, which walkShallow prunes).
+	head.nodes = append(head.nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.link(head, body)
+	b.link(head, after)
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, contTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.link(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.nodes = append(b.cur.nodes, s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.nodes = append(b.cur.nodes, s.Tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+
+	var caseBlocks []*cfgBlock
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		cb := b.newBlock()
+		b.link(head, cb)
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			cb.nodes = append(cb.nodes, e)
+		}
+		caseBlocks = append(caseBlocks, cb)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		for _, t := range body {
+			b.stmt(t)
+		}
+		if fallsThrough && i+1 < len(caseBlocks) {
+			b.link(b.cur, caseBlocks[i+1])
+		} else {
+			b.link(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.cur.nodes = append(b.cur.nodes, s.Init)
+	}
+	b.cur.nodes = append(b.cur.nodes, s.Assign)
+	head := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		cb := b.newBlock()
+		b.link(head, cb)
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+		b.cur = cb
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		b.link(b.cur, after)
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		cb := b.newBlock()
+		b.link(head, cb)
+		if cc.Comm != nil {
+			cb.nodes = append(cb.nodes, cc.Comm)
+		}
+		b.cur = cb
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		b.link(b.cur, after)
+	}
+	if len(s.Body.List) == 0 {
+		b.link(head, after) // select {} blocks forever; model as pass-through
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// isTerminalCall reports whether e is a call that never returns: the panic
+// builtin (os.Exit and friends are not modeled — the repo's surface code has
+// none on analyzed paths, and missing one only adds edges, never drops any).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// prune drops empty unreachable blocks (artifacts of terminate()) and
+// renumbers the survivors. These artifact blocks matter: a `return` inside
+// an if leaves an empty, predecessor-less block linked to the if's join — if
+// it survived, a must-analysis meet over the join's predecessors would see
+// its empty fact set and wrongly erase guards. Removal iterates because
+// deleting one dead block can orphan the next. Non-empty unreachable blocks
+// (real dead code) are kept; dataflow skips them via reachability instead.
+func (b *cfgBuilder) prune() {
+	g := b.g
+	for {
+		hasPred := map[*cfgBlock]bool{}
+		for _, blk := range g.blocks {
+			for _, s := range blk.succs {
+				hasPred[s] = true
+			}
+		}
+		var kept []*cfgBlock
+		dead := map[*cfgBlock]bool{}
+		for i, blk := range g.blocks {
+			if i != 0 && blk != g.exit && len(blk.nodes) == 0 && !hasPred[blk] {
+				dead[blk] = true
+				continue
+			}
+			kept = append(kept, blk)
+		}
+		if len(dead) == 0 {
+			break
+		}
+		for _, blk := range kept {
+			var succs []*cfgBlock
+			for _, s := range blk.succs {
+				if !dead[s] {
+					succs = append(succs, s)
+				}
+			}
+			blk.succs = succs
+		}
+		g.blocks = kept
+	}
+	for i, blk := range g.blocks {
+		blk.index = i
+	}
+}
+
+// reachable returns the set of blocks reachable from entry.
+func (g *funcCFG) reachable() map[*cfgBlock]bool {
+	if len(g.blocks) == 0 {
+		return nil
+	}
+	seen := map[*cfgBlock]bool{g.blocks[0]: true}
+	stack := []*cfgBlock{g.blocks[0]}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// walkShallow visits n and its children without descending into nested
+// function literals or statement bodies. This is the node-visitor every
+// dataflow transfer uses: a block's nodes are flat statements, conditions
+// and (for range) a statement whose Body must not be double-counted.
+func walkShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		switch m.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// dump renders the CFG deterministically for the golden tests: one line per
+// block with its nodes (pretty-printed, whitespace-collapsed) and successor
+// list.
+func (g *funcCFG) dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.index)
+		if blk == g.exit {
+			sb.WriteString(" <exit>")
+		}
+		for i, n := range blk.nodes {
+			if i > 0 {
+				sb.WriteString(" ;")
+			}
+			sb.WriteString(" " + renderNode(fset, n))
+		}
+		if len(blk.succs) > 0 {
+			idx := make([]int, len(blk.succs))
+			for i, s := range blk.succs {
+				idx[i] = s.index
+			}
+			sort.Ints(idx)
+			parts := make([]string, len(idx))
+			for i, v := range idx {
+				parts[i] = fmt.Sprintf("b%d", v)
+			}
+			sb.WriteString(" -> " + strings.Join(parts, " "))
+		}
+		sb.WriteString("\n")
+	}
+	if len(g.defers) > 0 {
+		lines := make([]string, len(g.defers))
+		for i, d := range g.defers {
+			lines[i] = renderNode(fset, d)
+		}
+		sb.WriteString("defers: " + strings.Join(lines, " ; ") + "\n")
+	}
+	return sb.String()
+}
+
+// renderNode pretty-prints one CFG node on a single line, truncated so a
+// closure-carrying statement cannot blow up the golden files.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf strings.Builder
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// Printing the whole RangeStmt would print its body; render the
+		// header only, mirroring what the head block models.
+		buf.WriteString("range ")
+		printer.Fprint(&buf, fset, rs.X)
+	} else {
+		printer.Fprint(&buf, fset, n)
+	}
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

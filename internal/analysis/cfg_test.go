@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateCFG = flag.Bool("update", false, "rewrite the CFG golden file from the current builder output")
+
+// cfgFixture parses the CFG fixture (no type information needed — the
+// builder is purely syntactic).
+func cfgFixture(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "cfg", "fixture.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return fset, f
+}
+
+// TestCFGGolden pins the exact block/edge structure of every fixture
+// function, so a dataflow bug rooted in graph construction is caught at the
+// layer it lives in rather than as a mysterious analyzer false result.
+func TestCFGGolden(t *testing.T) {
+	fset, f := cfgFixture(t)
+	var sb strings.Builder
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		sb.WriteString("func " + fd.Name.Name + "\n")
+		sb.WriteString(buildCFG(fd.Body).dump(fset))
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "cfg", "expected.txt")
+	if *updateCFG {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("CFG dump diverged from golden (re-run with -update if intentional):\n%s",
+			diffLines(want, got))
+	}
+}
+
+// TestCFGProperties checks the structural invariants every analyzer relies
+// on, independent of the golden rendering: the entry block is blocks[0],
+// the exit has no successors, edges stay inside the block list, and the
+// exit is reachable from entry in every fixture function (none of them
+// loops forever).
+func TestCFGProperties(t *testing.T) {
+	fset, f := cfgFixture(t)
+	_ = fset
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := buildCFG(fd.Body)
+		if len(g.blocks) == 0 {
+			t.Fatalf("%s: empty CFG", fd.Name.Name)
+		}
+		inGraph := map[*cfgBlock]bool{}
+		for i, blk := range g.blocks {
+			if blk.index != i {
+				t.Errorf("%s: block %d numbered %d", fd.Name.Name, i, blk.index)
+			}
+			inGraph[blk] = true
+		}
+		if len(g.exit.succs) != 0 {
+			t.Errorf("%s: exit block has successors", fd.Name.Name)
+		}
+		for _, blk := range g.blocks {
+			for _, s := range blk.succs {
+				if !inGraph[s] {
+					t.Errorf("%s: b%d has an edge to a pruned block", fd.Name.Name, blk.index)
+				}
+			}
+		}
+		if !g.reachable()[g.exit] {
+			t.Errorf("%s: exit unreachable from entry", fd.Name.Name)
+		}
+	}
+}
+
+// diffLines renders a small line diff for golden mismatches.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw == lg {
+			continue
+		}
+		if lw != "" || i < len(w) {
+			sb.WriteString("-" + lw + "\n")
+		}
+		if lg != "" || i < len(g) {
+			sb.WriteString("+" + lg + "\n")
+		}
+	}
+	return sb.String()
+}

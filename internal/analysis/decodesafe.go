@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// DecodesafeAnalyzer enforces the wire-decode safety rule (DESIGN.md §17):
+// every index, slice or binary.*Uint read of a wire-originating []byte must
+// be dominated by a len(...) guard on that buffer. Wire origins are the
+// payload result of nettrans.ReadFrame, the Payload field of any Frame
+// type, and whatever //mulint:tainted names on a function's parameters or a
+// struct's fields. This is the PR 2 / PR 6 truncation-bug class — a short
+// frame must fail a length check, never panic a decoder.
+var DecodesafeAnalyzer = &Analyzer{
+	Name: "decodesafe",
+	Doc:  "wire-originating []byte reads must be dominated by a len guard",
+	Run:  runDecodesafe,
+}
+
+func runDecodesafe(pass *Pass) {
+	fields := taintedFields(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDecodeFunc(pass, fd, fields)
+		}
+	}
+}
+
+func checkDecodeFunc(pass *Pass, fd *ast.FuncDecl, fields map[types.Object]map[string]bool) {
+	info := pass.Pkg.Info
+	objs := taintedObjs(pass.Pkg, fd, fields)
+	if len(objs) == 0 && len(fields) == 0 {
+		return
+	}
+	ts := &taintSet{objs: objs, fields: fields}
+
+	safe := rangeSafeReads(info, fd.Body, ts)
+	g := buildCFG(fd.Body)
+	states := guardAnalysis(info, g, ts)
+
+	for _, blk := range g.blocks {
+		perNode, reachable := states[blk]
+		if !reachable {
+			continue // dead code cannot panic; no facts, no findings
+		}
+		for j, n := range blk.nodes {
+			state := perNode[j]
+			walkShallow(n, func(m ast.Node) bool {
+				key, what := readOf(info, m, ts)
+				if !key.valid() || safe[m] {
+					return true
+				}
+				if !state[key] {
+					pass.Reportf(m.Pos(), "unguarded",
+						"%s of wire-originating buffer %s is not dominated by a len guard",
+						what, exprText(pass, m))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// readOf classifies node m as a read of a tainted buffer and returns its
+// key. Reads are: indexing a tainted slice, slicing it with non-trivial
+// bounds, and passing it to binary.<Order>.Uint{16,32,64}.
+func readOf(info *types.Info, m ast.Node, ts *taintSet) (taintKey, string) {
+	switch x := m.(type) {
+	case *ast.IndexExpr:
+		if !isSliceType(info.TypeOf(x.X)) {
+			return taintKey{}, ""
+		}
+		return keyOf(info, x.X, ts), "index"
+	case *ast.SliceExpr:
+		if !isSliceType(info.TypeOf(x.X)) || trivialSlice(x) {
+			return taintKey{}, ""
+		}
+		return keyOf(info, x.X, ts), "slice"
+	case *ast.CallExpr:
+		if !isBinaryUintCall(info, x) || len(x.Args) == 0 {
+			return taintKey{}, ""
+		}
+		return keyOf(info, x.Args[0], ts), "binary read"
+	}
+	return taintKey{}, ""
+}
+
+// trivialSlice reports whether se cannot over-read: all bounds absent or the
+// literal 0 (b[:], b[0:]).
+func trivialSlice(se *ast.SliceExpr) bool {
+	trivial := func(e ast.Expr) bool {
+		if e == nil {
+			return true
+		}
+		bl, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && bl.Value == "0"
+	}
+	return trivial(se.Low) && trivial(se.High) && se.Max == nil
+}
+
+// isSliceType reports whether t is a slice (arrays and maps index safely or
+// by-key; only slices carry wire-truncation risk).
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isBinaryUintCall matches binary.LittleEndian.Uint16/32/64 and the
+// BigEndian twins: the fixed-width reads that panic on a short buffer.
+func isBinaryUintCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Uint") {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := ast.Unparen(inner.X).(*ast.Ident)
+	if !ok || pkg.Name != "binary" {
+		return false
+	}
+	return inner.Sel.Name == "LittleEndian" || inner.Sel.Name == "BigEndian"
+}
+
+// rangeSafeReads collects index expressions provably in-bounds because their
+// index variable ranges over the indexed buffer itself:
+// `for i := range b { b[i] }` needs no further guard.
+func rangeSafeReads(info *types.Info, body *ast.BlockStmt, ts *taintSet) map[ast.Node]bool {
+	safe := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		key := keyOf(info, rs.X, ts)
+		if !key.valid() || rs.Key == nil {
+			return true
+		}
+		idx, ok := ast.Unparen(rs.Key).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		idxObj := objOf(info, idx)
+		if idxObj == nil {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			ie, ok := m.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if keyOf(info, ie.X, ts) != key {
+				return true
+			}
+			if id, ok := ast.Unparen(ie.Index).(*ast.Ident); ok && objOf(info, id) == idxObj {
+				safe[ie] = true
+			}
+			return true
+		})
+		return true
+	})
+	return safe
+}
+
+// exprText renders a node for diagnostics.
+func exprText(pass *Pass, n ast.Node) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, pass.Prog.Fset, n)
+	s := strings.Join(strings.Fields(sb.String()), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LeakcheckAnalyzer enforces goroutine lifecycle hygiene (DESIGN.md §17) in
+// the concurrency-bearing packages: every `go` statement must have a
+// discoverable join — a WaitGroup the spawned body Done()s and somebody
+// Wait()s, a channel it closes/sends that somebody receives, or a context
+// whose cancellation it selects on — or an explicit
+// `//mulint:detached <reason>` annotation auditing the leak.
+//
+// Two join disciplines are recognized:
+//   - lifecycle joins: the token is a struct field (s.wg, c.readerDone); the
+//     join may live anywhere in the package (Close, Shutdown, Drain, Wait —
+//     the lifecycle method that escorts the goroutine down).
+//   - local joins: the token is a local variable of the spawning function;
+//     the join must execute on every path from the spawn to the function's
+//     exit (checked on the CFG, with defers counting for all exits).
+var LeakcheckAnalyzer = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "every go statement needs a reachable join or a //mulint:detached audit",
+	Run:  runLeakcheck,
+}
+
+// leakcheckPkgs is the scope: the packages whose goroutines outlive request
+// handling and so must be escorted down on shutdown.
+var leakcheckPkgs = map[string]bool{
+	"mpi":      true,
+	"nettrans": true,
+	"server":   true,
+	"stream":   true,
+	"chaos":    true,
+}
+
+// joinKind discriminates what primitive the spawned goroutine signals with.
+type joinKind int
+
+const (
+	joinWG   joinKind = iota // X.Done() -> joined by X.Wait()
+	joinChan                 // close(ch) / ch <- v -> joined by <-ch / range ch
+	joinCtx                  // <-ctx.Done() -> joined by calling the CancelFunc
+)
+
+func (k joinKind) String() string {
+	switch k {
+	case joinWG:
+		return "WaitGroup"
+	case joinChan:
+		return "channel"
+	default:
+		return "context"
+	}
+}
+
+// joinToken is one signal the spawned body emits: a field key (typ+field)
+// or a local object key, plus the primitive kind.
+type joinToken struct {
+	key  taintKey
+	kind joinKind
+}
+
+func runLeakcheck(pass *Pass) {
+	if !leakcheckPkgs[pass.Pkg.Pkg.Name()] {
+		return
+	}
+	fieldJoins := packageFieldJoins(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		detached := detachedLines(pass, f)
+		usedDetached := map[int]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fd, fieldJoins, detached, usedDetached)
+		}
+		for line, pos := range detached {
+			if !usedDetached[line] {
+				pass.Reportf(pos, "detached",
+					"//mulint:detached matches no go statement on line %d", line)
+			}
+		}
+	}
+}
+
+// detachedLines parses the //mulint:detached annotations of f into a map
+// from shielded line to the comment's position; a missing reason is itself
+// reported.
+func detachedLines(pass *Pass, f *ast.File) map[int]token.Pos {
+	out := map[int]token.Pos{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, MarkerDetached)
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(rest) == "" {
+				pass.Reportf(c.Pos(), "detached",
+					"//mulint:detached needs a reason: why may this goroutine outlive its spawner?")
+				continue
+			}
+			pos := pass.Prog.Fset.Position(c.Pos())
+			line := pos.Line
+			if startsLine(pass.Prog.Fset, pass.Pkg, c) {
+				line++ // the comment owns its line; it shields the next one
+			}
+			out[line] = c.Pos()
+		}
+	}
+	return out
+}
+
+// checkGoStmts walks fd for go statements (including inside closures — the
+// innermost enclosing function literal is then the spawning scope) and
+// verifies each has a satisfied join.
+func checkGoStmts(pass *Pass, fd *ast.FuncDecl, fieldJoins map[taintKey]joinKind,
+	detached map[int]token.Pos, usedDetached map[int]bool) {
+	type scope struct{ body *ast.BlockStmt }
+	stack := []scope{{fd.Body}}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				if n != x { // only recurse once per literal
+					stack = append(stack, scope{x.Body})
+					walk(x)
+					stack = stack[:len(stack)-1]
+					return false
+				}
+			case *ast.GoStmt:
+				line := pass.Prog.Fset.Position(x.Pos()).Line
+				if _, ok := detached[line]; ok {
+					usedDetached[line] = true
+					return true
+				}
+				checkGo(pass, x, stack[len(stack)-1].body, fieldJoins)
+			}
+			return true
+		})
+	}
+	walk(fd)
+}
+
+// checkGo verifies one go statement against the join disciplines.
+func checkGo(pass *Pass, g *ast.GoStmt, spawnBody *ast.BlockStmt, fieldJoins map[taintKey]joinKind) {
+	info := pass.Pkg.Info
+	body := spawnedBody(pass, g.Call)
+	if body == nil {
+		pass.Reportf(g.Pos(), "unjoined",
+			"cannot resolve the spawned function; join it explicitly or annotate //mulint:detached <reason>")
+		return
+	}
+	tokens := joinTokens(pass, body, 2, map[*ast.BlockStmt]bool{})
+	if len(tokens) == 0 {
+		pass.Reportf(g.Pos(), "unjoined",
+			"spawned goroutine signals no join primitive (WaitGroup.Done, channel close/send, or ctx.Done select); annotate //mulint:detached <reason> if it may outlive its spawner")
+		return
+	}
+	for _, tok := range tokens {
+		if tok.key.typ != nil {
+			// Lifecycle join: anywhere in the package counts.
+			if kind, ok := fieldJoins[tok.key]; ok && kind == tok.kind {
+				return
+			}
+			continue
+		}
+		if tok.kind == joinCtx {
+			if hasCancelCall(info, spawnBody) {
+				return
+			}
+			continue
+		}
+		if localJoinOnAllPaths(info, spawnBody, g, tok) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "unjoined",
+		"goroutine's %s signal is never joined on all exits of the spawning function (no matching Wait/receive/cancel); fix the lifecycle or annotate //mulint:detached <reason>",
+		tokens[0].kind)
+}
+
+// spawnedBody resolves the body the go statement runs: a function literal's
+// body, or the declaration of the called function/method when it is in the
+// loaded program.
+func spawnedBody(pass *Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	if fn := calleeFunc(pass.Pkg.Info, call); fn != nil {
+		if fd, ok := pass.Prog.FuncDecl(fn); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// joinTokens scans a spawned body (descending depth levels into same-program
+// callees) for the signals it emits on exit.
+func joinTokens(pass *Pass, body *ast.BlockStmt, depth int, seen map[*ast.BlockStmt]bool) []joinToken {
+	if body == nil || seen[body] {
+		return nil
+	}
+	seen[body] = true
+	info := pass.Pkg.Info
+	var out []joinToken
+	add := func(k taintKey, kind joinKind) {
+		if k.valid() {
+			out = append(out, joinToken{key: k, kind: kind})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done":
+					// ctx.Done() is a receive-side read, not a completion
+					// signal; only WaitGroup-ish Done() with no results
+					// counts. Distinguish by use: <-ctx.Done() is unwrapped
+					// by the UnaryExpr/select cases below.
+					if !isCtxDone(info, x) {
+						add(joinKeyOf(info, sel.X), joinWG)
+					}
+				}
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				add(joinKeyOf(info, x.Args[0]), joinChan)
+			}
+			if depth > 0 {
+				if fn := calleeFunc(info, x); fn != nil {
+					if fd, ok := pass.Prog.FuncDecl(fn); ok && fd.Body != nil {
+						out = append(out, joinTokens(pass, fd.Body, depth-1, seen)...)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			add(joinKeyOf(info, x.Chan), joinChan)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && isCtxDone(info, call) {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						add(joinKeyOf(info, sel.X), joinCtx)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCtxDone reports whether call is ctx.Done() on a context.Context.
+func isCtxDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Context" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context"
+}
+
+// joinKeyOf resolves e to a join key: a field key for selectors on named
+// types, an object key for plain identifiers.
+func joinKeyOf(info *types.Info, e ast.Expr) taintKey {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := objOf(info, x); o != nil {
+			return taintKey{obj: o}
+		}
+	case *ast.SelectorExpr:
+		t := info.TypeOf(x.X)
+		if t == nil {
+			return taintKey{}
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return taintKey{typ: named.Obj(), field: x.Sel.Name}
+		}
+	}
+	return taintKey{}
+}
+
+// packageFieldJoins indexes every field-keyed join operation in the package:
+// X.f.Wait() calls, <-X.f receives and `range X.f` loops, keyed by (type, f).
+func packageFieldJoins(pkg *Package) map[taintKey]joinKind {
+	info := pkg.Info
+	out := map[taintKey]joinKind{}
+	addKey := func(e ast.Expr, kind joinKind) {
+		if k := joinKeyOf(info, e); k.typ != nil {
+			out[k] = kind
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+					addKey(sel.X, joinWG)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					addKey(x.X, joinChan)
+				}
+			case *ast.RangeStmt:
+				addKey(x.X, joinChan)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasCancelCall reports whether body invokes (or defers) a
+// context.CancelFunc — the owner-side join of a ctx.Done-bound goroutine.
+func hasCancelCall(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		t := info.TypeOf(call.Fun)
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Name() == "CancelFunc" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "context" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// localJoinOnAllPaths checks the local-join discipline: from the block that
+// spawns the goroutine, every path to the spawning function's exit must pass
+// a join operation on the token, or a defer in the function must perform it.
+func localJoinOnAllPaths(info *types.Info, spawnBody *ast.BlockStmt, g *ast.GoStmt, tok joinToken) bool {
+	cfg := buildCFG(spawnBody)
+	for _, d := range cfg.defers {
+		if nodeJoins(info, d, tok) {
+			return true // defers run at every exit
+		}
+	}
+	// Locate the go statement's block and node index.
+	var goBlock *cfgBlock
+	goIdx := -1
+	for _, blk := range cfg.blocks {
+		for i, n := range blk.nodes {
+			if n == ast.Node(g) {
+				goBlock, goIdx = blk, i
+			}
+		}
+	}
+	if goBlock == nil {
+		return false
+	}
+	// A join later in the same block dominates all paths from the spawn.
+	for _, n := range goBlock.nodes[goIdx+1:] {
+		if nodeJoins(info, n, tok) {
+			return true
+		}
+	}
+	// DFS: can we reach exit without entering a joining block?
+	joins := map[*cfgBlock]bool{}
+	for _, blk := range cfg.blocks {
+		for _, n := range blk.nodes {
+			if nodeJoins(info, n, tok) {
+				joins[blk] = true
+			}
+		}
+	}
+	seen := map[*cfgBlock]bool{goBlock: true}
+	stack := []*cfgBlock{goBlock}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.succs {
+			if seen[s] || joins[s] {
+				continue
+			}
+			if s == cfg.exit {
+				return false // leak path: exit reached, no join crossed
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return true
+}
+
+// nodeJoins reports whether CFG node n performs the join operation for tok:
+// Wait() on the object (WaitGroup), or a receive/range on it (channel).
+func nodeJoins(info *types.Info, n ast.Node, tok joinToken) bool {
+	if tok.key.obj == nil {
+		return false
+	}
+	match := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && objOf(info, id) == tok.key.obj
+	}
+	found := false
+	walkShallow(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if tok.kind == joinWG {
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Wait" && match(sel.X) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if tok.kind == joinChan && x.Op == token.ARROW && match(x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tok.kind == joinChan && match(x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -28,6 +28,11 @@ type Program struct {
 	Packages []*Package // module packages, sorted by import path
 	ByPath   map[string]*Package
 
+	// WireLock is the path of the wire-protocol schema lock the wireproto
+	// analyzer reconciles against: internal/analysis/testdata/wire.lock for
+	// module loads, <dir>/wire.lock for fixture loads.
+	WireLock string
+
 	// funcDecls maps every package-level function/method object in the
 	// program to its declaration, for cross-package call-graph walks.
 	funcDecls map[*types.Func]*ast.FuncDecl
@@ -66,7 +71,11 @@ func LoadModule(dir string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog := &Program{Fset: fset, ByPath: map[string]*Package{}}
+	prog := &Program{
+		Fset:     fset,
+		ByPath:   map[string]*Package{},
+		WireLock: filepath.Join(root, "internal", "analysis", "testdata", "wire.lock"),
+	}
 	for _, d := range dirs {
 		path := module
 		if rel, _ := filepath.Rel(root, d); rel != "." {
@@ -108,7 +117,12 @@ func LoadDir(dir string) (*Program, error) {
 	if pkg == nil {
 		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
 	}
-	prog := &Program{Fset: fset, Packages: []*Package{pkg}, ByPath: map[string]*Package{pkg.Path: pkg}}
+	prog := &Program{
+		Fset:     fset,
+		Packages: []*Package{pkg},
+		ByPath:   map[string]*Package{pkg.Path: pkg},
+		WireLock: filepath.Join(dir, "wire.lock"),
+	}
 	prog.buildFuncDecls()
 	return prog, nil
 }

@@ -1,0 +1,101 @@
+// Package cfg is the CFG-builder golden fixture: one small function per
+// control-flow shape, with the expected block/edge dump in expected.txt
+// (regenerate with `go test ./internal/analysis -run TestCFGGolden -update`).
+package cfg
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func earlyReturn(a int) int {
+	if a == 0 {
+		return -1
+	}
+	return a
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func switchFallthrough(op int) int {
+	switch op {
+	case 1:
+		fallthrough
+	case 2:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func labeledBreak(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 1
+}
+
+func deferredClose(open func() func()) {
+	closeFn := open()
+	defer closeFn()
+	closeFn = open()
+}
+
+func panics(a int) int {
+	if a < 0 {
+		panic("negative")
+	}
+	return a
+}
+
+func gotoRetry(tries int) int {
+retry:
+	tries--
+	if tries > 0 {
+		goto retry
+	}
+	return tries
+}
+
+func selectTwo(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}
+
+func typeSwitch(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	default:
+		return -1
+	}
+}

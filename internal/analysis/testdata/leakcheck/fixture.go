@@ -1,0 +1,175 @@
+// Package server is the leakcheck golden fixture, named after a real
+// in-scope package so the analyzer's package predicate fires. Each leaky
+// pattern carries its want; the clean half pins the false-positive boundary
+// (lifecycle joins, local joins on all paths, detached audits).
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Pattern 1: fire-and-forget — the spawned body signals nothing at all.
+func fireAndForget() {
+	go func() { // want `signals no join primitive`
+		_ = 1 + 1
+	}()
+}
+
+// Pattern 2: a local WaitGroup joined on only one path — the early return
+// leaks the goroutine.
+func earlyReturnLeak(abort bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `never joined on all exits`
+		defer wg.Done()
+	}()
+	if abort {
+		return
+	}
+	wg.Wait()
+}
+
+// Pattern 3: a field WaitGroup whose Wait() no lifecycle method ever calls.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.run() // want `never joined on all exits`
+}
+
+func (p *pool) run() { defer p.wg.Done() }
+
+// Pattern 4: a completion channel nobody receives from.
+func notifyNobody() {
+	done := make(chan struct{})
+	go func() { // want `never joined on all exits`
+		close(done)
+	}()
+}
+
+// Pattern 5: an opaque function value — the analyzer cannot see the body,
+// so it demands an explicit join or a detached audit.
+func spawnOpaque(fn func()) {
+	go fn() // want `cannot resolve the spawned function`
+}
+
+// Pattern 6: a context-bound goroutine whose spawner never cancels.
+func watchNoCancel(ctx context.Context) {
+	go func() { // want `never joined on all exits`
+		<-ctx.Done()
+	}()
+}
+
+// The detached escape hatch: an audited reason silences the finding. The
+// hygiene side (reasonless or stale detached annotations) lives in
+// testdata/leakmeta, because those diagnostics land on comment lines where
+// a want-anchor cannot sit.
+func samplerForever() {
+	//mulint:detached process-lifetime sampler, torn down with the process
+	go func() {
+		select {}
+	}()
+}
+
+// ---- Clean idioms below: everything from here on must stay silent. ----
+
+// Lifecycle join: the worker Done()s a field WaitGroup and Close Wait()s it
+// — the escorted-shutdown discipline of the real server and transport.
+type daemon struct {
+	wg sync.WaitGroup
+}
+
+func (d *daemon) start(n int) {
+	for i := 0; i < n; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+}
+
+func (d *daemon) worker() { defer d.wg.Done() }
+
+func (d *daemon) Close() { d.wg.Wait() }
+
+// Transitive token discovery: the Done lives one call deeper than the
+// spawned method.
+type crew struct {
+	wg sync.WaitGroup
+}
+
+func (c *crew) start() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+func (c *crew) run()    { defer c.finish() }
+func (c *crew) finish() { c.wg.Done() }
+
+func (c *crew) Shutdown() { c.wg.Wait() }
+
+// Channel lifecycle join: reader closes its done channel, Close receives it.
+type conn struct {
+	readerDone chan struct{}
+}
+
+func (c *conn) start() {
+	go c.readLoop()
+}
+
+func (c *conn) readLoop() { defer close(c.readerDone) }
+
+func (c *conn) Close() { <-c.readerDone }
+
+// Local join on all paths: every exit of the spawner flows through Wait.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Same-block join after the spawn (the measurePeakHeap shape).
+func sampleDuring(fn func()) {
+	done := make(chan struct{})
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		<-done
+	}()
+	fn()
+	close(done)
+	<-sampler
+}
+
+// Deferred join counts for every exit.
+func deferredJoin(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Wait()
+	go func() {
+		defer wg.Done()
+	}()
+	fn()
+}
+
+// Context-bound goroutine with the cancel deferred by the spawner.
+func watchWithCancel(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Same-line detached audit.
+func flusherDetached() {
+	go leakyHelper() //mulint:detached metrics flusher owns its own lifetime
+}
+
+func leakyHelper() {}

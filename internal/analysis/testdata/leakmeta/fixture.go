@@ -1,0 +1,18 @@
+// Package server exercises leakcheck's annotation hygiene: a
+// //mulint:detached without a reason is itself a finding (and shields
+// nothing), and one that matches no go statement is stale. The assertions
+// live in TestLeakcheckDetachedHygiene — these diagnostics sit on comment
+// lines, where the golden // want convention cannot anchor.
+package server
+
+func missingReason() {
+	//mulint:detached
+	go func() {
+		_ = 1
+	}()
+}
+
+func staleDetached() {
+	//mulint:detached nothing spawns here anymore
+	_ = 0
+}

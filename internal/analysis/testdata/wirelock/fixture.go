@@ -1,0 +1,14 @@
+// Package wirelock exercises wireproto's lock-side diagnostics: a locked
+// constant that vanished from the source, a malformed lock line, and a
+// duplicate lock entry. Asserted programmatically in TestWireLockHygiene —
+// these diagnostics anchor to wire.lock lines, where // want comments
+// cannot sit.
+package wirelock
+
+// The live half of the enum; the lock also pins opGone, which no longer
+// exists here.
+//
+//mulint:wire lock-op
+const (
+	opKeep = 1
+)

@@ -1,0 +1,81 @@
+// Package proto is the wireproto golden fixture: annotated wire-enum const
+// blocks reconciled against the sibling wire.lock, plus the exhaustive-
+// switch rule. The lock-side diagnostics (removed constants, malformed lock
+// lines) live in testdata/wirelock, because they anchor to lock-file lines
+// where want-comments cannot sit.
+package proto
+
+// Ops: fully locked, the clean baseline.
+//
+//mulint:wire fixture-op
+const (
+	opHello = 1
+	opPing  = 2
+	opData  = 3
+)
+
+// Statuses: statusGone is locked at 1 but renumbered to 9 in source — the
+// append-only violation the analyzer exists to catch.
+//
+//mulint:wire fixture-status
+const (
+	statusOK   = 0
+	statusGone = 9 // want `renumbered`
+)
+
+// Magics: magicNew was added to the source without appending its lock line.
+//
+//mulint:wire fixture-magic
+const (
+	magicReq = 0xB5
+	magicNew = 0xB6 // want `not in wire.lock`
+)
+
+// Tags: tagDupe collides with tagAck — two wire constants may never share a
+// value, whatever the lock says.
+//
+//mulint:wire fixture-tag
+const (
+	tagAck  = -1
+	tagBye  = -2
+	tagDupe = -1 // want `duplicates the value`
+)
+
+// A switch on a wire tag with no default must cover the whole group.
+func handle(op byte) int {
+	switch op { // want `misses opData`
+	case opHello:
+		return 1
+	case opPing:
+		return 2
+	}
+	return 0
+}
+
+// Exhaustive coverage needs no default.
+func handleAll(op byte) int {
+	switch op {
+	case opHello, opPing, opData:
+		return 1
+	}
+	return 0
+}
+
+// A default absorbs future ops; partial coverage is then fine.
+func handleDefault(op byte) int {
+	switch op {
+	case opHello:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Switches on non-wire values stay out of scope.
+func classify(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

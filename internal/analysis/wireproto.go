@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WireprotoAnalyzer pins the wire-protocol schema (DESIGN.md §17). Const
+// blocks annotated
+//
+//	//mulint:wire <group>
+//
+// declare append-only wire enums (op codes, status codes, frame magics,
+// engine values, reserved tags). Their exact values are locked in
+// internal/analysis/testdata/wire.lock; renumbering a constant, dropping a
+// locked one, or introducing one without appending its lock line is a
+// build-breaking diagnostic. Additionally, a switch whose cases label wire
+// constants and that has no default must be exhaustive over the group — a
+// silently ignored new op is exactly how protocol drift starts.
+var WireprotoAnalyzer = &Analyzer{
+	Name: "wireproto",
+	Doc:  "wire enums are append-only, locked in wire.lock, and switched exhaustively",
+	Run:  runWireproto,
+}
+
+// wireConst is one locked constant extracted from an annotated const block.
+type wireConst struct {
+	group string
+	name  string
+	value string // exact constant value (go/constant ExactString)
+	obj   types.Object
+	pos   token.Pos
+}
+
+func runWireproto(pass *Pass) {
+	all := wireConstsOf(pass.Prog)
+	checkWireSwitches(pass, all)
+
+	// The lock comparison is whole-program; run it once, on the last package
+	// (analyzers visit packages in sorted order, so this is deterministic).
+	if pass.Pkg != pass.Prog.Packages[len(pass.Prog.Packages)-1] {
+		return
+	}
+	checkWireLock(pass, all)
+}
+
+// wireConstsOf extracts every annotated wire constant in the program.
+func wireConstsOf(prog *Program) []wireConst {
+	var out []wireConst
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				groups := markerNames(gd.Doc, MarkerWire)
+				if len(groups) == 0 {
+					continue
+				}
+				group := groups[0]
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, id := range vs.Names {
+						if id.Name == "_" {
+							continue
+						}
+						c, ok := pkg.Info.Defs[id].(*types.Const)
+						if !ok {
+							continue
+						}
+						out = append(out, wireConst{
+							group: group,
+							name:  id.Name,
+							value: c.Val().ExactString(),
+							obj:   c,
+							pos:   id.Pos(),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkWireSwitches flags non-exhaustive switches over wire groups in this
+// pass's package: a switch with at least one wire-constant case and no
+// default clause must cover every member of that constant's group.
+func checkWireSwitches(pass *Pass, all []wireConst) {
+	byObj := map[types.Object]wireConst{}
+	members := map[string][]wireConst{}
+	for _, wc := range all {
+		byObj[wc.obj] = wc
+		members[wc.group] = append(members[wc.group], wc)
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			covered := map[string]bool{}
+			group := ""
+			hasDefault := false
+			for _, c := range sw.Body.List {
+				cc := c.(*ast.CaseClause)
+				if len(cc.List) == 0 {
+					hasDefault = true
+				}
+				for _, e := range cc.List {
+					id, ok := ast.Unparen(e).(*ast.Ident)
+					if !ok {
+						if sel, ok2 := ast.Unparen(e).(*ast.SelectorExpr); ok2 {
+							id = sel.Sel
+						} else {
+							continue
+						}
+					}
+					if wc, ok := byObj[objOf(info, id)]; ok {
+						group = wc.group
+						covered[wc.name] = true
+					}
+				}
+			}
+			if group == "" || hasDefault {
+				return true
+			}
+			var missing []string
+			for _, wc := range members[group] {
+				if !covered[wc.name] {
+					missing = append(missing, wc.name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(), "switch",
+					"switch on wire group %q has no default and misses %s: handle them or add a default",
+					group, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// checkWireLock reconciles the extracted constants against the committed
+// wire.lock file. The lock is append-only: one `group name value` line per
+// constant, # comments allowed. Every divergence is a diagnostic — the lock
+// is the protocol's source of truth, the code must follow it.
+func checkWireLock(pass *Pass, all []wireConst) {
+	lockPath := pass.Prog.WireLock
+	if lockPath == "" {
+		return
+	}
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		if len(all) > 0 {
+			pass.Reportf(all[0].pos, "lock",
+				"wire constants declared but %s is missing: commit the lock file", lockPath)
+		}
+		return
+	}
+
+	type lockEntry struct {
+		value string
+		line  int
+		used  bool
+	}
+	lock := map[string]*lockEntry{} // "group name" -> entry
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		pos := token.Position{Filename: lockPath, Line: i + 1, Column: 1}
+		if len(fields) != 3 {
+			pass.ReportAtf(pos, "lock", "malformed wire.lock line: want \"group name value\", got %q", line)
+			continue
+		}
+		key := fields[0] + " " + fields[1]
+		if prev, dup := lock[key]; dup {
+			pass.ReportAtf(pos, "lock", "duplicate wire.lock entry for %s (first at line %d)", key, prev.line)
+			continue
+		}
+		lock[key] = &lockEntry{value: fields[2], line: i + 1}
+	}
+
+	// Source vs lock, plus intra-group duplicate values (two ops sharing a
+	// number is a protocol bug whether or not the lock agrees).
+	valueSeen := map[string]wireConst{} // "group value" -> first const
+	for _, wc := range all {
+		if prev, dup := valueSeen[wc.group+" "+wc.value]; dup {
+			pass.Reportf(wc.pos, "duplicate",
+				"wire constant %s duplicates the value of %s in group %q (= %s)",
+				wc.name, prev.name, wc.group, wc.value)
+		} else {
+			valueSeen[wc.group+" "+wc.value] = wc
+		}
+		entry, ok := lock[wc.group+" "+wc.name]
+		if !ok {
+			pass.Reportf(wc.pos, "unlocked",
+				"wire constant %s is not in wire.lock: append %q to %s",
+				wc.name, fmt.Sprintf("%s %s %s", wc.group, wc.name, wc.value), lockPath)
+			continue
+		}
+		entry.used = true
+		if entry.value != wc.value {
+			pass.Reportf(wc.pos, "renumbered",
+				"wire constant %s = %s but wire.lock pins %s: wire values are append-only, never renumbered",
+				wc.name, wc.value, entry.value)
+		}
+	}
+	var stale []string
+	for key, entry := range lock {
+		if !entry.used {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		entry := lock[key]
+		pass.ReportAtf(token.Position{Filename: lockPath, Line: entry.line, Column: 1}, "removed",
+			"locked wire constant %s no longer exists in the source: wire enums are append-only (deprecate in place, never delete)", key)
+	}
+}

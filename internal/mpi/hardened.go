@@ -10,6 +10,8 @@ import (
 
 // ackTag marks acknowledgment frames on the reverse link; it never reaches
 // an application mailbox.
+//
+//mulint:wire mpi-tag
 const ackTag = -1099
 
 // RetryPolicy bounds the hardened path's retransmission loop. The zero

@@ -307,6 +307,11 @@ func (t *Transport) serveConn(conn net.Conn) {
 				t.reportDown(from)
 			}
 			return
+		case helloMagic:
+			// A duplicate handshake after the first is a peer bug, but a
+			// harmless one: ignore it rather than desynchronize the stream.
+			// (wireproto demands this switch cover every frame kind — before
+			// it did, a duplicate µHEL fell through here silently.)
 		}
 	}
 }

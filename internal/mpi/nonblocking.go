@@ -124,6 +124,8 @@ func (c *Comm) Irecv(src, tag int) *Request {
 // alltoallTag is distinct from the blocking Alltoall's tag so that mixing
 // the two collectives in one protocol phase is caught as a tag mismatch
 // instead of silently cross-matching.
+//
+//mulint:wire mpi-tag
 const alltoallTag = -1082
 
 // AlltoallRequest is a handle on an in-flight IAlltoall.

@@ -33,7 +33,11 @@ type RemoteTransport interface {
 
 // Reserved tags of the remote collectives (remote worlds rebuild Barrier,
 // Bcast and Allgather from hardened point-to-point messages; the shared
-// slot-and-barrier implementations need every rank in one process).
+// slot-and-barrier implementations need every rank in one process). All
+// reserved tags share the mpi-tag wire group so two subsystems can never
+// claim the same reserved value.
+//
+//mulint:wire mpi-tag
 const (
 	remoteBarrierTag   = -1091
 	remoteBcastTag     = -1092

@@ -25,6 +25,8 @@ func EncodeRecords(recs []Record, dim int) []byte {
 // DecodeRecords unpacks a buffer produced by EncodeRecords. A buffer whose
 // header does not match its length (negative count, or fewer id/coordinate
 // bytes than the count promises) decodes to nil rather than panicking.
+//
+//mulint:tainted b
 func DecodeRecords(b []byte, dim int) []Record {
 	if len(b) < 8 || dim <= 0 {
 		return nil
@@ -37,7 +39,7 @@ func DecodeRecords(b []byte, dim int) []Record {
 	pts := mpi.DecodePoints(b[8+8*n:], dim)
 	recs := make([]Record, n)
 	for i := range recs {
-		recs[i] = Record{ID: ids[i], Pt: pts[i]}
+		recs[i] = Record{ID: ids[i], Pt: pts[i]} //mulint:allow decodesafe the count guard above bounds n, so ids holds n+1 and pts n elements
 	}
 	return recs
 }
@@ -50,8 +52,16 @@ func encodeMBR(m geom.MBR) []byte {
 	return mpi.EncodeFloat64s(vals)
 }
 
-// decodeMBR unpacks a buffer produced by encodeMBR.
+// decodeMBR unpacks a buffer produced by encodeMBR. The buffer crosses the
+// wire (Allgather of per-rank regions), so a short or corrupt frame must not
+// panic: a buffer with fewer than 2*dim values decodes to the empty MBR,
+// which every consumer already treats as "rank holds nothing".
+//
+//mulint:tainted b
 func decodeMBR(b []byte, dim int) geom.MBR {
 	vals := mpi.DecodeFloat64s(b)
+	if len(vals) < 2*dim {
+		return geom.NewMBR(dim)
+	}
 	return geom.MBR{Min: geom.Point(vals[:dim]), Max: geom.Point(vals[dim : 2*dim])}
 }

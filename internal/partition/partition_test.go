@@ -257,3 +257,16 @@ func TestMBRCodecRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: %v", got)
 	}
 }
+
+// A short or corrupt MBR frame off the wire must decode to the empty MBR,
+// never panic. This pins the truncation guard decodesafe demanded: before
+// it, decodeMBR sliced vals[:dim] on whatever length the frame delivered.
+func TestMBRCodecTruncated(t *testing.T) {
+	full := encodeMBR(geom.MBR{Min: geom.Point{-1, 2}, Max: geom.Point{3, 4}})
+	for _, b := range [][]byte{nil, {}, full[:8], full[:len(full)-8], full[:len(full)-1]} {
+		got := decodeMBR(b, 2)
+		if !got.IsEmpty() {
+			t.Fatalf("decodeMBR(%d bytes) = %v, want empty", len(b), got)
+		}
+	}
+}

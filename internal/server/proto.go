@@ -38,6 +38,8 @@ import (
 // Frame magics, following the nettrans convention (µ prefix, then the
 // frame kind). The sets are disjoint from the mpi transport's so a rank
 // process dialed by mistake rejects daemon traffic as ErrBadMagic.
+//
+//mulint:wire server-magic
 const (
 	// ReqMagic types every client→daemon frame: payload = op byte + body.
 	ReqMagic = 0xB5524551 // µREQ
@@ -46,7 +48,11 @@ const (
 	RespMagic = 0xB5525350 // µRSP
 )
 
-// Request ops (first payload byte of a ReqMagic frame).
+// Request ops (first payload byte of a ReqMagic frame). The op space is
+// append-only: new ops take the next free number, dead ops keep their slot
+// — wireproto pins every value in wire.lock.
+//
+//mulint:wire server-op
 const (
 	opHello    = 1 // body: tenant name — must be the first frame on a connection
 	opPing     = 2 // body: empty
@@ -69,6 +75,8 @@ const (
 // Response status codes (first payload byte of a RespMagic frame). Non-OK
 // bodies carry a human-readable message; each code maps to one exported
 // sentinel error so clients can errors.Is on the cause.
+//
+//mulint:wire server-status
 const (
 	statusOK              = 0
 	statusBadRequest      = 1
@@ -144,6 +152,7 @@ func statusErr(code byte) error {
 // Wire values are append-only: existing engines are never renumbered.
 type Engine uint8
 
+//mulint:wire server-engine
 const (
 	// EngineAuto picks a concrete engine from the dataset: the grid cell
 	// engine when the library's profile-based selector
@@ -168,9 +177,11 @@ const (
 	// default, GOMAXPROCS). Exact and byte-identical to EngineSeq at any
 	// worker count.
 	EngineCell
-
-	numEngines = 6
 )
+
+// numEngines counts the engines above for validation loops; it is
+// bookkeeping, not a wire value, so it lives outside the wire enum block.
+const numEngines = 6
 
 // String names the engine as the CLI and metrics surface spell it.
 func (e Engine) String() string {
@@ -226,7 +237,10 @@ func epsBitsOf(eps float64) uint64 { return math.Float64bits(eps) }
 // rbuf is a bounds-checked little-endian reader over one request or
 // response body. Every decode helper reports failure by latching err; a
 // malformed buffer can never panic or over-read — the protocol fuzz target
-// hammers exactly this property.
+// hammers the dynamic side of that property, and decodesafe proves the
+// static side: every read of b below is dominated by a len guard.
+//
+//mulint:tainted b
 type rbuf struct {
 	b   []byte
 	err bool

@@ -335,7 +335,11 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // handleFrame dispatches one request frame, reporting false when the
 // connection must close (undecodable op or a protocol-order violation).
-// It is also the protocol fuzz entry point: no payload may panic it.
+// It is also the protocol fuzz entry point: no payload may panic it —
+// decodesafe enforces that every read of the payload (through rbuf) is
+// length-guarded.
+//
+//mulint:tainted payload
 func (c *serverConn) handleFrame(tag int64, payload []byte) bool {
 	r := rbuf{b: payload}
 	op := r.u8()
